@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the compiler's hot kernels.
+
+Not a paper figure — these track the cost of compilation itself, which
+§VI leans on (recompilation is excluded from Fig 12 when compile time
+exceeds reload time).  Multi-round timings via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.core import CompilerConfig, compile_circuit
+from repro.hardware import Topology
+from repro.workloads import build_circuit
+
+
+@pytest.mark.parametrize("name,size", [("bv", 50), ("cnu", 50),
+                                       ("cuccaro", 50)])
+def test_compile_mid3(benchmark, name, size):
+    circuit = build_circuit(name, size)
+
+    def compile_once():
+        return compile_circuit(
+            circuit,
+            Topology.square(10, 3.0),
+            CompilerConfig(max_interaction_distance=3.0),
+        )
+
+    program = benchmark(compile_once)
+    assert program.depth() > 0
+
+
+def test_compile_sc_baseline(benchmark):
+    circuit = build_circuit("qaoa", 40)
+
+    def compile_once():
+        return compile_circuit(
+            circuit,
+            Topology.square(10, 1.0),
+            CompilerConfig.superconducting_like(),
+        )
+
+    program = benchmark(compile_once)
+    assert program.swap_count > 0
+
+
+def test_recompile_vs_reload_claim(benchmark, record_figure):
+    """Document where compile time stands vs the 0.3 s reload.
+
+    The paper's Python compiler took seconds; ours is faster, so the
+    'recompilation exceeds reload' exclusion holds only for large or
+    fully decomposed programs.  Record the measured number.
+    """
+    circuit = build_circuit("cuccaro", 100)
+
+    def compile_once():
+        return compile_circuit(
+            circuit,
+            Topology.square(10, 2.0),
+            CompilerConfig(max_interaction_distance=2.0, native_max_arity=2),
+        )
+
+    program = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    record_figure(
+        "recompile_cost",
+        f"one full recompile of cuccaro-100 (decomposed, MID 2): "
+        f"{program.compile_seconds:.3f}s vs reload 0.3s",
+    )
+    assert program.compile_seconds > 0

@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmark harness.
+
+Each ``bench_figN.py`` regenerates the corresponding paper figure at a
+reduced-but-shape-preserving scale, times the heavy kernel with
+pytest-benchmark, asserts the figure's qualitative claim, and writes the
+printed rows/series to ``benchmarks/results/figN.txt`` (also echoed to
+stdout, visible with ``pytest -s``).
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir):
+    """Write a figure's formatted output to disk and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

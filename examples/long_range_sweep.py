@@ -1,0 +1,53 @@
+"""Long-range interactions: diminishing returns and serialization cost.
+
+Sweeps the maximum interaction distance for one serial benchmark (BV) and
+one parallel benchmark (QFT adder), showing:
+
+* gate count falls steeply over the first few distance increments then
+  flattens (Fig 3's message — hardware need not chase extreme range);
+* for the parallel benchmark, restriction zones claw back some of the
+  depth win at long range (Fig 4/5's message).
+
+Run:  python examples/long_range_sweep.py
+"""
+
+from repro import CompilerConfig, Topology, compile_circuit
+from repro.workloads import build_circuit
+
+MIDS = [1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0]
+
+
+def sweep(name: str, size: int) -> None:
+    circuit = build_circuit(name, size)
+    print(f"\n{name}-{circuit.num_qubits}:")
+    print("  MID    gates  depth  swaps   depth(no zones)")
+    baseline = None
+    for mid in MIDS:
+        zoned = compile_circuit(
+            circuit,
+            Topology.square(10, mid),
+            CompilerConfig(max_interaction_distance=mid, native_max_arity=2),
+        )
+        ideal = compile_circuit(
+            circuit,
+            Topology.square(10, mid),
+            CompilerConfig(max_interaction_distance=mid, native_max_arity=2,
+                           restriction_radius="none"),
+        )
+        if baseline is None:
+            baseline = zoned.gate_count()
+        saving = 1.0 - zoned.gate_count() / baseline
+        print(f"  {mid:4g}  {zoned.gate_count():6d} {zoned.depth():6d} "
+              f"{zoned.swap_count:6d}   {ideal.depth():6d}"
+              f"    ({saving:5.1%} gate saving vs MID 1)")
+
+
+def main() -> None:
+    sweep("bv", 40)        # fully serial: zones nearly free
+    sweep("qft-adder", 30)  # highly parallel: zones serialize
+    print("\nMost of the gate-count benefit arrives by distance ~3-5; the "
+          "gap between the last two columns is the restriction-zone cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: compile a program for a neutral-atom device.
+
+Builds a 30-qubit Cuccaro ripple-carry adder, compiles it for a 10x10
+neutral-atom array at maximum interaction distance 3 (with native Toffoli
+gates and restriction zones), and compares the result against a
+superconducting-style baseline (distance-1 grid, everything decomposed).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompilerConfig, NoiseModel, Topology, compile_circuit
+from repro.workloads import build_circuit
+
+
+def main() -> None:
+    circuit = build_circuit("cuccaro", 30)
+    print(f"source: cuccaro adder, {circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates, depth {circuit.depth()}")
+
+    # Neutral-atom compilation: MID 3, zones f(d)=d/2, native Toffolis.
+    na_program = compile_circuit(
+        circuit,
+        Topology.square(10, max_interaction_distance=3.0),
+        CompilerConfig(max_interaction_distance=3.0),
+    )
+
+    # Superconducting-style baseline: MID 1, no zones, 2-qubit gates only.
+    sc_program = compile_circuit(
+        circuit,
+        Topology.square(10, max_interaction_distance=1.0),
+        CompilerConfig.superconducting_like(),
+    )
+
+    print("\n              neutral atom    superconducting-like")
+    for label, getter in [
+        ("gates", lambda p: p.gate_count()),
+        ("depth", lambda p: p.depth()),
+        ("swaps", lambda p: p.swap_count),
+    ]:
+        print(f"  {label:10s} {getter(na_program):>10}    {getter(sc_program):>10}")
+
+    na_noise = NoiseModel.neutral_atom()
+    sc_noise = NoiseModel.superconducting_rome()
+    print(f"\n  predicted success (NA, demonstrated fidelities): "
+          f"{na_program.success_rate(na_noise):.3e}")
+    print(f"  predicted success (SC, Rome-era fidelities):     "
+          f"{sc_program.success_rate(sc_noise):.3e}")
+
+    equal_noise = sc_noise.with_two_qubit_error(na_noise.two_qubit_error)
+    print(f"  predicted success (SC at the SAME 2q error as NA): "
+          f"{sc_program.success_rate(equal_noise):.3e}")
+    print("\nAt matched error rates the NA compilation wins on gate count "
+          "alone — the paper's §IV headline.")
+
+
+if __name__ == "__main__":
+    main()

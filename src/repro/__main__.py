@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3
+    python -m repro run fig12 --quick
+    python -m repro run all --quick
+
+``--quick`` passes reduced parameters (the same scale the pytest
+benchmarks use is hit via ``pytest benchmarks/ --benchmark-only``;
+``--quick`` here is even smaller, for a fast smoke pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Reduced keyword arguments per experiment for --quick runs.
+_QUICK_ARGS = {
+    "fig3": dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
+                 bv_line_sizes=(15, 27)),
+    "fig4": dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
+                 qft_line_sizes=(10, 26)),
+    "fig5": dict(max_size=24, size_step=8, mids=(2.0, 3.0),
+                 qaoa_line_sizes=(16,)),
+    "fig6": dict(sizes=(16, 30), mids=(2.0, 3.0)),
+    "fig7": dict(program_size=24, error_points=9),
+    "fig8": dict(max_size=30, size_step=10, error_points=9),
+    "fig10": dict(mids=(2.0, 3.0), program_size=20, trials=2),
+    "fig11": dict(benchmarks=("cnu",), mids=(3.0,), max_holes=10,
+                  program_size=20, trials=2),
+    "fig12": dict(mids=(3.0, 4.0), shots=120, program_size=20),
+    "fig13": dict(mids=(4.0,), factors=(1.0, 10.0), shots_per_run=150,
+                  program_size=20),
+    "fig14": dict(target_shots=10, program_size=20),
+    "validation": dict(),
+    "ablation-zones": dict(benchmarks=("qaoa",), program_size=20),
+    "ablation-lookahead": dict(program_size=20),
+    "ablation-margin": dict(program_size=20, trials=2, margins=(1.0, 2.0)),
+    "ext-ejection": dict(shots=60),
+    "ext-scaling": dict(grid_sides=(6, 10)),
+    "ext-noisy-validation": dict(shots=150),
+    "ext-trapped-ion": dict(benchmarks=("bv", "cnu", "qaoa"), program_size=20),
+    "ext-geometry": dict(benchmarks=("bv",), grid_side=5),
+}
+
+
+def _run_one(name: str, quick: bool) -> None:
+    module = ALL_EXPERIMENTS[name]
+    kwargs = _QUICK_ARGS.get(name, {}) if quick else {}
+    start = time.perf_counter()
+    result = module.run(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.format())
+    print(f"\n[{name} regenerated in {elapsed:.1f}s"
+          f"{' (quick parameters)' if quick else ''}]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures and extensions.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        help=f"one of {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced parameters for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        for name in ALL_EXPERIMENTS:
+            _run_one(name, args.quick)
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

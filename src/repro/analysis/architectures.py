@@ -1,0 +1,131 @@
+"""The two architectures every figure compares.
+
+* **NA** — 10x10 neutral-atom grid, MID sweepable (default 3), restriction
+  zones ``f(d) = d/2``, native 3-qubit gates, neutral-atom noise.
+* **SC** — the superconducting baseline: same grid, MID 1, no zones,
+  everything decomposed to 1-2 qubit gates, IBM-Rome-era noise.
+
+Compilation results are cached process-wide: the figure drivers and the
+pytest benchmarks hit the same (benchmark, size, architecture) points
+repeatedly, and compiled metrics are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.metrics import ProgramMetrics
+from repro.core.compiler import compile_circuit
+from repro.core.config import CompilerConfig
+from repro.hardware.noise import NoiseModel
+from repro.hardware.topology import Topology
+from repro.workloads.registry import get_benchmark
+
+#: The paper's device (§III-C): a 10x10 atom array.
+DEFAULT_GRID_SIDE = 10
+
+#: The MIDs the paper's bar charts use, plus 1 as the SC-like baseline.
+PAPER_MIDS = (2.0, 3.0, 4.0, 5.0, 8.0, 13.0)
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A named (device, compiler policy, noise family) triple."""
+
+    name: str
+    grid_side: int
+    mid: float
+    restriction_radius: str
+    native_max_arity: int
+    noise_family: str  # "na" or "sc"
+
+    def config(self) -> CompilerConfig:
+        return CompilerConfig(
+            max_interaction_distance=self.mid,
+            restriction_radius=self.restriction_radius,
+            native_max_arity=self.native_max_arity,
+        )
+
+    def topology(self) -> Topology:
+        return Topology.square(self.grid_side, self.mid)
+
+    def noise(self, two_qubit_error: Optional[float] = None) -> NoiseModel:
+        if self.noise_family == "sc":
+            return NoiseModel.superconducting_rome(two_qubit_error)
+        if self.noise_family == "ti":
+            return NoiseModel.trapped_ion(two_qubit_error)
+        return NoiseModel.neutral_atom(two_qubit_error)
+
+
+def neutral_atom_arch(
+    mid: float = 3.0,
+    grid_side: int = DEFAULT_GRID_SIDE,
+    native_max_arity: int = 3,
+    restriction_radius: str = "half",
+) -> Architecture:
+    return Architecture(
+        name=f"na-mid{mid:g}",
+        grid_side=grid_side,
+        mid=mid,
+        restriction_radius=restriction_radius,
+        native_max_arity=native_max_arity,
+        noise_family="na",
+    )
+
+
+def superconducting_arch(grid_side: int = DEFAULT_GRID_SIDE) -> Architecture:
+    return Architecture(
+        name="sc-mid1",
+        grid_side=grid_side,
+        mid=1.0,
+        restriction_radius="none",
+        native_max_arity=2,
+        noise_family="sc",
+    )
+
+
+def trapped_ion_arch(
+    grid_side: int = DEFAULT_GRID_SIDE, native_max_arity: int = 3
+) -> Architecture:
+    """Single-trap trapped-ion comparator (the paper's Discussion).
+
+    All-to-all connectivity (MID = device diagonal, so routing inserts no
+    SWAPs) and native multiqubit gates, but a device-wide restriction
+    zone: the shared phonon bus serializes entangling gates completely.
+    """
+    import math
+
+    diagonal = math.hypot(grid_side - 1, grid_side - 1)
+    return Architecture(
+        name="ti-global",
+        grid_side=grid_side,
+        mid=diagonal,
+        restriction_radius="global",
+        native_max_arity=native_max_arity,
+        noise_family="ti",
+    )
+
+
+_CACHE: Dict[Tuple, ProgramMetrics] = {}
+
+
+def compiled_metrics(
+    benchmark: str,
+    num_qubits: int,
+    arch: Architecture,
+    rng_seed: int = 0,
+) -> ProgramMetrics:
+    """Compile (cached) and summarize one benchmark instance on one arch."""
+    key = (benchmark, num_qubits, arch, rng_seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    circuit = get_benchmark(benchmark).circuit(num_qubits, rng=rng_seed)
+    program = compile_circuit(circuit, arch.topology(), arch.config())
+    metrics = ProgramMetrics.from_program(program, benchmark=benchmark)
+    _CACHE[key] = metrics
+    return metrics
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

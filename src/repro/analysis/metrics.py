@@ -1,0 +1,81 @@
+"""Compact compiled-program metrics, decoupled from noise parameters.
+
+Figs 7-8 evaluate the *same* compiled program under many error rates.
+:class:`ProgramMetrics` captures exactly what the §V estimator needs —
+the per-arity gate census and the timestep structure — so a program is
+compiled once and scored cheaply under any :class:`NoiseModel`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.result import CompiledProgram
+from repro.hardware.noise import NoiseModel
+
+#: Timestep signature: (contains_swap, max gate arity in the step).
+StepKind = Tuple[bool, int]
+
+
+@dataclass(frozen=True)
+class ProgramMetrics:
+    """Noise-independent summary of one compiled program."""
+
+    benchmark: str
+    num_qubits: int
+    mid: float
+    gate_count: int
+    op_count: int
+    swap_count: int
+    depth: int
+    counts_by_arity: Tuple[Tuple[int, int], ...]
+    #: Census of timesteps by (has_swap, max_arity), for duration math.
+    step_census: Tuple[Tuple[StepKind, int], ...]
+
+    @classmethod
+    def from_program(
+        cls, program: CompiledProgram, benchmark: str = ""
+    ) -> "ProgramMetrics":
+        census: Counter = Counter()
+        for timestep in program.schedule:
+            if not timestep:
+                continue
+            has_swap = any(op.is_swap for op in timestep)
+            max_arity = max(op.arity for op in timestep)
+            census[(has_swap, max_arity)] += 1
+        return cls(
+            benchmark=benchmark,
+            num_qubits=program.source.num_qubits,
+            mid=program.config.max_interaction_distance,
+            gate_count=program.gate_count(),
+            op_count=program.op_count,
+            swap_count=program.swap_count,
+            depth=program.depth(),
+            counts_by_arity=tuple(sorted(program.counts_by_arity().items())),
+            step_census=tuple(sorted(census.items())),
+        )
+
+    # -- noise-parameterized queries ----------------------------------------------------
+
+    def arity_counts(self) -> Dict[int, int]:
+        return dict(self.counts_by_arity)
+
+    def duration(self, noise: NoiseModel) -> float:
+        """One-shot execution time under a noise model's gate times."""
+        total = 0.0
+        for (has_swap, max_arity), count in self.step_census:
+            step_time = noise.duration_of(max_arity)
+            if has_swap:
+                step_time = max(step_time, 3.0 * noise.duration_of(2))
+            total += count * step_time
+        return total
+
+    def success_rate(self, noise: NoiseModel) -> float:
+        """The §V success estimate under ``noise``."""
+        return noise.program_success(self.arity_counts(), self.duration(noise))
+
+    def error_rate(self, noise: NoiseModel) -> float:
+        """Fig 7's y-axis: 1 - success."""
+        return 1.0 - self.success_rate(noise)

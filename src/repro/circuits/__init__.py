@@ -1,0 +1,42 @@
+"""Quantum circuit intermediate representation.
+
+The compiler's input and output language: immutable gates, ordered
+circuits, dependency DAGs, decompositions, and OpenQASM interchange.
+"""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag, Frontier, interaction_pairs
+from repro.circuits.decompose import (
+    decompose_ccx,
+    decompose_circuit,
+    decompose_gate,
+    decompose_mcx,
+    decompose_swap,
+)
+from repro.circuits.gates import Gate
+from repro.circuits.optimize import (
+    cancel_self_inverses,
+    merge_rotations,
+    optimization_report,
+    optimize_circuit,
+)
+from repro.circuits.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "Circuit",
+    "CircuitDag",
+    "Frontier",
+    "Gate",
+    "decompose_ccx",
+    "decompose_circuit",
+    "decompose_gate",
+    "decompose_mcx",
+    "decompose_swap",
+    "from_qasm",
+    "cancel_self_inverses",
+    "merge_rotations",
+    "optimization_report",
+    "optimize_circuit",
+    "interaction_pairs",
+    "to_qasm",
+]

@@ -1,0 +1,160 @@
+"""Dependency DAG over a circuit's gates.
+
+The compiler consumes circuits through this view: gates are nodes, and a
+directed edge runs from gate *a* to gate *b* when they share a qubit and
+*a* precedes *b* in program order (nearest predecessor per qubit only).
+
+Two consumers:
+
+* the lookahead weight function walks layers *ahead of the frontier*
+  (paper §III-A, ``w(u, v) = sum_{l >= l_c} e^{-|l_c - l|}``);
+* the scheduler pops executable gates from the frontier as their
+  predecessors complete.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+
+class CircuitDag:
+    """Static dependency structure for one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        num_gates = len(circuit)
+        self.predecessors: List[Set[int]] = [set() for _ in range(num_gates)]
+        self.successors: List[Set[int]] = [set() for _ in range(num_gates)]
+        last_on_qubit: Dict[int, int] = {}
+        for idx, gate in enumerate(circuit):
+            for q in gate.qubits:
+                prev = last_on_qubit.get(q)
+                if prev is not None:
+                    self.predecessors[idx].add(prev)
+                    self.successors[prev].add(idx)
+                last_on_qubit[q] = idx
+        self._layers: Optional[List[List[int]]] = None
+        self._gate_layer: Optional[List[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.circuit)
+
+    def gate(self, idx: int) -> Gate:
+        return self.circuit[idx]
+
+    # -- layering ------------------------------------------------------------
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layers of gate indices (cached)."""
+        if self._layers is None:
+            self._layers = self.circuit.layers()
+            self._gate_layer = [0] * len(self.circuit)
+            for layer_idx, layer in enumerate(self._layers):
+                for gate_idx in layer:
+                    self._gate_layer[gate_idx] = layer_idx
+        return self._layers
+
+    def gate_layer(self, idx: int) -> int:
+        """ASAP layer index of gate ``idx``."""
+        self.layers()
+        assert self._gate_layer is not None
+        return self._gate_layer[idx]
+
+    def roots(self) -> List[int]:
+        return [i for i in range(len(self)) if not self.predecessors[i]]
+
+
+class Frontier:
+    """Mutable execution frontier over a :class:`CircuitDag`.
+
+    Tracks which gates are ready (all predecessors done).  The scheduler
+    marks gates done one at a time; the lookahead weighting asks for the
+    *remaining* layer structure relative to the current frontier.
+    """
+
+    def __init__(self, dag: CircuitDag):
+        self.dag = dag
+        self._remaining_preds: List[int] = [len(p) for p in dag.predecessors]
+        self._done: List[bool] = [False] * len(dag)
+        self._ready: Set[int] = {i for i, n in enumerate(self._remaining_preds) if n == 0}
+        self.num_done = 0
+
+    @property
+    def ready(self) -> Set[int]:
+        """Indices of gates whose dependencies are all satisfied."""
+        return self._ready
+
+    def is_done(self, idx: int) -> bool:
+        return self._done[idx]
+
+    def all_done(self) -> bool:
+        return self.num_done == len(self.dag)
+
+    def complete(self, idx: int) -> None:
+        """Mark gate ``idx`` executed, releasing its successors."""
+        if self._done[idx]:
+            raise ValueError(f"gate {idx} already completed")
+        if idx not in self._ready:
+            raise ValueError(f"gate {idx} is not ready (unmet dependencies)")
+        self._done[idx] = True
+        self._ready.discard(idx)
+        self.num_done += 1
+        for succ in self.dag.successors[idx]:
+            self._remaining_preds[succ] -= 1
+            if self._remaining_preds[succ] == 0:
+                self._ready.add(succ)
+
+    # -- lookahead support -----------------------------------------------------
+
+    def remaining_layers(self, max_layers: int) -> List[List[int]]:
+        """ASAP layering of the *unexecuted* portion of the circuit.
+
+        Layer 0 is the current frontier (``ready`` gates).  Only the first
+        ``max_layers`` layers are materialized since the exponential
+        lookahead weight decays fast.
+        """
+        remaining_preds = dict()
+        for idx in range(len(self.dag)):
+            if self._done[idx]:
+                continue
+            count = sum(
+                1 for p in self.dag.predecessors[idx] if not self._done[p]
+            )
+            remaining_preds[idx] = count
+        layers: List[List[int]] = []
+        current = [idx for idx, count in remaining_preds.items() if count == 0]
+        produced: Set[int] = set(current)
+        while current and len(layers) < max_layers:
+            layers.append(current)
+            next_layer: List[int] = []
+            counts = defaultdict(int)
+            for idx in current:
+                for succ in self.dag.successors[idx]:
+                    if succ in produced or self._done[succ]:
+                        continue
+                    counts[succ] += 1
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0:
+                        next_layer.append(succ)
+                        produced.add(succ)
+            current = next_layer
+        return layers
+
+
+def interaction_pairs(gate: Gate) -> List[Tuple[int, int]]:
+    """All unordered operand pairs of a (multiqubit) gate.
+
+    The lookahead weight of a k-qubit gate is added between every pair of
+    its operands (paper §III-A: "when considering a multiqubit gate we add
+    this weighting function between all pairs of qubits in the gate").
+    """
+    qubits = gate.qubits
+    return [
+        (qubits[i], qubits[j])
+        for i in range(len(qubits))
+        for j in range(i + 1, len(qubits))
+    ]

@@ -1,0 +1,116 @@
+"""Unitary matrices for the supported gate set.
+
+Used by the statevector simulator (:mod:`repro.sim`) and by equivalence
+checking.  The compiler itself never needs matrices — it treats gates
+structurally — so this module keeps the numerics out of the compiler path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_FIXED_1Q: Dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex),
+}
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def _phase(theta: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def _controlled(unitary: np.ndarray, num_controls: int) -> np.ndarray:
+    """Embed ``unitary`` as the bottom-right block of a controlled gate.
+
+    Basis ordering is big-endian over the gate's operand tuple: the first
+    operand is the most significant bit.  Controls come first, so the
+    "all controls on" block is the last ``dim(unitary)`` rows/columns.
+    """
+    dim_u = unitary.shape[0]
+    dim = dim_u * (2**num_controls)
+    out = np.eye(dim, dtype=complex)
+    out[dim - dim_u:, dim - dim_u:] = unitary
+    return out
+
+
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def gate_unitary(gate: Gate) -> np.ndarray:
+    """Return the ``2^k x 2^k`` unitary for ``gate`` (big-endian operands).
+
+    Raises ``KeyError`` for measurement (not a unitary) and unknown names.
+    """
+    name = gate.name
+    if name in _FIXED_1Q:
+        return _FIXED_1Q[name]
+    if name == "rx":
+        return _rx(gate.params[0])
+    if name == "ry":
+        return _ry(gate.params[0])
+    if name == "rz":
+        return _rz(gate.params[0])
+    if name == "p" or name == "phase":
+        return _phase(gate.params[0])
+    if name == "cx":
+        return _controlled(_FIXED_1Q["x"], 1)
+    if name == "cz":
+        return _controlled(_FIXED_1Q["z"], 1)
+    if name == "cphase":
+        return _controlled(_phase(gate.params[0]), 1)
+    if name == "rzz":
+        theta = gate.params[0]
+        diag = np.exp(1j * theta / 2 * np.array([-1, 1, 1, -1]))
+        return np.diag(diag).astype(complex)
+    if name == "swap":
+        return _SWAP
+    if name == "ccx":
+        return _controlled(_FIXED_1Q["x"], 2)
+    if name == "ccz":
+        return _controlled(_FIXED_1Q["z"], 2)
+    if name == "cswap":
+        return _controlled(_SWAP, 1)
+    if name.startswith("c") and name.endswith("x") and name[1:-1].isdigit():
+        return _controlled(_FIXED_1Q["x"], int(name[1:-1]))
+    raise KeyError(f"no unitary known for gate {name!r}")
+
+
+def is_unitary_gate(gate: Gate) -> bool:
+    """Whether :func:`gate_unitary` can produce a matrix for ``gate``."""
+    try:
+        gate_unitary(gate)
+    except KeyError:
+        return False
+    return True

@@ -1,0 +1,93 @@
+"""Minimal OpenQASM 2.0 export/import.
+
+Provides interchange with the wider ecosystem (the paper's artifact is
+Qiskit-adjacent).  Only the gate set used by this library is supported;
+this is an interchange convenience, not a full OpenQASM front end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+#: repro gate name -> OpenQASM mnemonic.
+_TO_QASM = {
+    "i": "id",
+    "cphase": "cp",
+    "measure": "measure",
+}
+#: OpenQASM mnemonic -> repro gate name.
+_FROM_QASM = {
+    "id": "i",
+    "cp": "cphase",
+    "cu1": "cphase",
+    "ccz": "ccz",
+    "toffoli": "ccx",
+}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize ``circuit`` as OpenQASM 2.0 text."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if any(g.is_measurement for g in circuit):
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit:
+        name = _TO_QASM.get(gate.name, gate.name)
+        operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.is_measurement:
+            q = gate.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+        elif gate.params:
+            params = ",".join(f"{p!r}" for p in gate.params)
+            lines.append(f"{name}({params}) {operands};")
+        else:
+            lines.append(f"{name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s+"
+    r"(?P<operands>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;$"
+)
+_MEASURE_RE = re.compile(r"^measure\s+q\[(?P<q>\d+)\]\s*->\s*c\[\d+\]\s*;$")
+_QREG_RE = re.compile(r"^qreg\s+q\[(?P<n>\d+)\]\s*;$")
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (single qreg)."""
+    num_qubits = None
+    gates: List[Gate] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg", "barrier")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            num_qubits = int(qreg.group("n"))
+            continue
+        meas = _MEASURE_RE.match(line)
+        if meas:
+            gates.append(Gate("measure", (int(meas.group("q")),)))
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"unsupported QASM line: {raw_line!r}")
+        name = _FROM_QASM.get(match.group("name"), match.group("name"))
+        params_text = match.group("params")
+        params = tuple(
+            float(p) for p in params_text.split(",")
+        ) if params_text else ()
+        qubits = tuple(
+            int(m) for m in re.findall(r"q\[(\d+)\]", match.group("operands"))
+        )
+        gates.append(Gate(name, qubits, params))
+    if num_qubits is None:
+        raise ValueError("QASM text declares no qreg")
+    return Circuit(num_qubits, gates)

@@ -1,0 +1,100 @@
+"""Top-level compile entry point.
+
+``compile_circuit(circuit, topology, config)`` runs the full §III-A
+pipeline:
+
+1. **Lowering** — gates wider than ``config.native_max_arity`` (or wider
+   than the topology can ever bring into mutual range) are decomposed.
+   At MID 1 even a Toffoli is impossible (three atoms cannot be pairwise
+   adjacent at distance 1 on a square grid), so it is decomposed — exactly
+   the paper's observation in §IV-B.
+2. **Placement** — greedy weighted placement at the device center.
+3. **Routing + scheduling** — the zone-aware lookahead scheduler.
+
+The result is a :class:`~repro.core.result.CompiledProgram`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.decompose import decompose_circuit
+from repro.core.config import CompilerConfig
+from repro.core.errors import CompilationError
+from repro.core.mapping import initial_mapping
+from repro.core.result import CompiledProgram
+from repro.core.scheduler import schedule_circuit
+from repro.core.weights import initial_weights
+from repro.circuits.dag import CircuitDag
+from repro.hardware.topology import Topology
+
+
+def max_native_arity_for_distance(max_interaction_distance: float) -> int:
+    """Largest gate arity executable at a given MID on a square grid.
+
+    A k-qubit gate needs k atoms pairwise within the MID.  At distance 1
+    only pairs fit (a third atom cannot be at distance <= 1 from both).
+    At distance >= sqrt(2) a 2x2 block hosts 4 mutually-in-range atoms,
+    and the count grows with the distance; we cap the answer at 8 since
+    nothing in the library emits wider native gates.
+    """
+    if max_interaction_distance < math.sqrt(2.0) - 1e-9:
+        return 2
+    if max_interaction_distance < 2.0:
+        return 4
+    return 8
+
+
+def compile_circuit(
+    circuit: Circuit,
+    topology: Topology,
+    config: Optional[CompilerConfig] = None,
+) -> CompiledProgram:
+    """Compile ``circuit`` for ``topology`` under ``config``.
+
+    The topology's own ``max_interaction_distance`` takes precedence when
+    it differs from the config (the config is copied with the topology's
+    MID), so callers can't accidentally compile for a different range than
+    they execute on.
+    """
+    if config is None:
+        config = CompilerConfig()
+    if abs(config.max_interaction_distance - topology.max_interaction_distance) > 1e-9:
+        config = config.with_mid(topology.max_interaction_distance)
+
+    start = time.perf_counter()
+
+    lowering_arity = min(
+        config.native_max_arity,
+        max_native_arity_for_distance(config.max_interaction_distance),
+    )
+    lowered = decompose_circuit(circuit, keep_swaps=True, max_arity=lowering_arity)
+
+    if lowered.num_qubits > topology.num_active:
+        raise CompilationError(
+            f"program needs {lowered.num_qubits} qubits "
+            f"(incl. decomposition ancillas) but the device has "
+            f"{topology.num_active} active atoms"
+        )
+
+    dag = CircuitDag(lowered)
+    weights = initial_weights(
+        dag, config.initial_mapping_layers, config.lookahead_decay
+    )
+    layout = initial_mapping(lowered.num_qubits, topology, weights)
+
+    schedule, final_layout = schedule_circuit(lowered, topology, config, layout)
+
+    elapsed = time.perf_counter() - start
+    return CompiledProgram(
+        source=lowered,
+        config=config,
+        grid_shape=(topology.grid.rows, topology.grid.cols),
+        initial_layout=layout,
+        final_layout=final_layout,
+        schedule=schedule,
+        compile_seconds=elapsed,
+    )

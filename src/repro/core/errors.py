@@ -1,0 +1,13 @@
+"""Compiler exception hierarchy."""
+
+
+class CompilationError(RuntimeError):
+    """The program cannot be compiled onto the given topology."""
+
+
+class DisconnectedTopologyError(CompilationError):
+    """Routing failed because the active-site graph is disconnected."""
+
+
+class SchedulingStalledError(CompilationError):
+    """The scheduler stopped making progress (safety valve tripped)."""

@@ -1,0 +1,193 @@
+"""Compiled-program artifact.
+
+A :class:`CompiledProgram` is the compiler's output: the timestep-by-
+timestep schedule of operations pinned to physical sites, the initial and
+final layouts, and every metric the paper reports (gate count, depth,
+SWAP count, duration, per-arity census).
+
+The atom-loss strategies (§VI) replay this artifact: they need each
+operation's *sites at execution time* to re-check interaction distances
+after virtual remapping shifts atoms around.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.core.config import CompilerConfig
+from repro.hardware.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation pinned to sites and a timestep."""
+
+    #: The gate in *program-qubit* terms, or ``None`` for a routing SWAP
+    #: (whose operands may include spare atoms that carry no program qubit).
+    gate: Optional[Gate]
+    #: Physical sites the operation touches, in operand order.
+    sites: Tuple[int, ...]
+    #: Scheduler timestep (0-based).
+    timestep: int
+    #: Index of the originating gate in the source circuit; None for SWAPs.
+    source_index: Optional[int] = None
+
+    @property
+    def is_swap(self) -> bool:
+        return self.gate is None
+
+    @property
+    def name(self) -> str:
+        return "swap" if self.gate is None else self.gate.name
+
+    @property
+    def arity(self) -> int:
+        return len(self.sites)
+
+    @property
+    def is_multiqubit(self) -> bool:
+        return len(self.sites) >= 2
+
+    def __str__(self) -> str:
+        label = self.name
+        sites = ", ".join(str(s) for s in self.sites)
+        return f"t{self.timestep}: {label} @ sites({sites})"
+
+
+@dataclass
+class CompiledProgram:
+    """Full result of compiling one circuit onto one topology."""
+
+    source: Circuit
+    config: CompilerConfig
+    grid_shape: Tuple[int, int]
+    #: program qubit -> site, before the first timestep.
+    initial_layout: Dict[int, int]
+    #: program qubit -> site, after the last timestep.
+    final_layout: Dict[int, int]
+    #: Ops grouped by timestep.
+    schedule: List[List[ScheduledOp]]
+    #: Wall-clock seconds the compiler spent (drives Fig 12's recompile cost).
+    compile_seconds: float = 0.0
+
+    # -- basic censuses ------------------------------------------------------------
+
+    @property
+    def ops(self) -> List[ScheduledOp]:
+        return [op for timestep in self.schedule for op in timestep]
+
+    @property
+    def swap_count(self) -> int:
+        return sum(1 for op in self.ops if op.is_swap)
+
+    @property
+    def op_count(self) -> int:
+        """Scheduled operations, counting each SWAP as one."""
+        return len(self.ops)
+
+    def gate_count(self) -> int:
+        """The paper's post-compilation gate count (SWAP = 3 CX)."""
+        swaps = self.swap_count
+        return (self.op_count - swaps) + self.config.swap_gate_cost * swaps
+
+    def counts_by_arity(self) -> Counter:
+        """Per-arity census for the §V success model (SWAP = 3 two-qubit)."""
+        counts: Counter = Counter()
+        for op in self.ops:
+            if op.is_swap:
+                counts[2] += self.config.swap_gate_cost
+            elif not op.gate.is_measurement:
+                counts[op.arity] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Scheduled depth: each timestep costs the max op cost within it
+        (1 for a gate, ``swap_depth_cost`` for a SWAP)."""
+        total = 0
+        for timestep in self.schedule:
+            if not timestep:
+                continue
+            cost = 1
+            if any(op.is_swap for op in timestep):
+                cost = self.config.swap_depth_cost
+            total += cost
+        return total
+
+    def duration(self, noise: NoiseModel) -> float:
+        """Wall-clock execution time of one shot under a noise model's
+        gate times: per timestep, the slowest op; SWAPs take 3 two-qubit
+        gate times."""
+        total = 0.0
+        for timestep in self.schedule:
+            slowest = 0.0
+            for op in timestep:
+                if op.is_swap:
+                    length = 3.0 * noise.duration_of(2)
+                else:
+                    length = noise.duration_of(op.arity)
+                slowest = max(slowest, length)
+            total += slowest
+        return total
+
+    def success_rate(self, noise: NoiseModel) -> float:
+        """The §V success estimate for this compiled program."""
+        return noise.program_success(self.counts_by_arity(), self.duration(noise))
+
+    # -- site usage (consumed by the loss machinery) --------------------------------
+
+    def used_sites(self) -> set:
+        """Every site any op (or layout) touches over the program."""
+        sites = set(self.initial_layout.values())
+        for op in self.ops:
+            sites.update(op.sites)
+        return sites
+
+    def measured_sites(self) -> set:
+        """Sites read out at the end (final homes of all program qubits)."""
+        return set(self.final_layout.values())
+
+    def multiqubit_ops(self) -> List[ScheduledOp]:
+        return [op for op in self.ops if op.is_multiqubit]
+
+    # -- export -----------------------------------------------------------------------
+
+    def to_physical_circuit(self) -> Circuit:
+        """The schedule as a flat circuit over site indices.
+
+        Feeding this to the statevector simulator (with program qubits
+        embedded at their initial layout) must reproduce the source
+        circuit — the equivalence check in
+        :mod:`repro.core.validation`.
+        """
+        num_sites = self.grid_shape[0] * self.grid_shape[1]
+        circuit = Circuit(num_sites)
+        for op in self.ops:
+            if op.is_swap:
+                circuit.append(Gate("swap", op.sites))
+            else:
+                circuit.append(Gate(op.gate.name, op.sites, op.gate.params))
+        return circuit
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics as a plain dict (handy for tables)."""
+        return {
+            "qubits": self.source.num_qubits,
+            "mid": self.config.max_interaction_distance,
+            "ops": self.op_count,
+            "gates": self.gate_count(),
+            "swaps": self.swap_count,
+            "depth": self.depth(),
+            "timesteps": len(self.schedule),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram(qubits={self.source.num_qubits}, "
+            f"mid={self.config.max_interaction_distance}, "
+            f"gates={self.gate_count()}, depth={self.depth()}, "
+            f"swaps={self.swap_count})"
+        )

@@ -1,0 +1,183 @@
+"""SWAP selection for long-distance gates (§III-A).
+
+When a frontier gate's operands exceed the MID, the router proposes one
+SWAP moving an operand strictly closer to its partners, scored by the
+paper's displacement-aware function:
+
+    s(u, h) = sum_v [d(phi(u), phi(v)) - d(h, phi(v))] * w(u, v)
+            + sum_v [d(h, phi(v)) - d(phi(u), phi(v))] * w(phi^-1(h), v)
+
+The first term rewards moving ``u`` toward its future partners; the second
+penalizes dragging the displaced qubit ``phi^-1(h)`` away from *its*
+future partners.  The chosen ``h`` must be *strictly closer to the most
+immediate interaction*, guaranteeing progress.
+
+A BFS fallback handles hole-riddled topologies (recompilation after atom
+loss) where no Euclidean-closer neighbor exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.weights import InteractionWeights
+from repro.hardware.topology import Topology
+
+
+@dataclass(frozen=True)
+class SwapProposal:
+    """A candidate SWAP between two sites, with its routing score."""
+
+    site_a: int
+    site_b: int
+    score: float
+    #: True when chosen by the BFS fallback rather than the greedy score.
+    via_path_fallback: bool = False
+
+    @property
+    def sites(self) -> Tuple[int, int]:
+        return (self.site_a, self.site_b)
+
+
+def gate_span(sites: Sequence[int], topology: Topology) -> float:
+    """Max pairwise distance among a gate's operand sites."""
+    best = 0.0
+    for i in range(len(sites)):
+        for j in range(i + 1, len(sites)):
+            dist = topology.distance(sites[i], sites[j])
+            if dist > best:
+                best = dist
+    return best
+
+
+def propose_swap(
+    gate_qubits: Sequence[int],
+    phi: Dict[int, int],
+    inverse_phi: Dict[int, int],
+    topology: Topology,
+    weights: InteractionWeights,
+) -> Optional[SwapProposal]:
+    """Best single SWAP bringing one operand of the gate closer.
+
+    Evaluates every operand ``u`` against every active neighbor ``h`` of
+    its site that strictly reduces ``u``'s maximum distance to the gate's
+    other operands, scoring each by the paper's function.  Falls back to
+    one hop along a BFS path when the Euclidean-greedy candidate set is
+    empty (possible on topologies with holes).  Returns ``None`` only when
+    even BFS finds no way to bring the operands together.
+    """
+    best: Optional[SwapProposal] = None
+    for u in gate_qubits:
+        site_u = phi[u]
+        partner_sites = [phi[v] for v in gate_qubits if v != u]
+        current_span = max(topology.distance(site_u, p) for p in partner_sites)
+        for h in topology.neighbors(site_u):
+            if inverse_phi.get(h) in gate_qubits:
+                # Swapping two operands of the same gate permutes them but
+                # leaves the operand site set (and the span) unchanged.
+                continue
+            new_span = max(topology.distance(h, p) for p in partner_sites)
+            if new_span >= current_span - 1e-9:
+                continue
+            score = _score_swap(u, site_u, h, phi, inverse_phi, weights, topology)
+            if best is None or score > best.score or (
+                score == best.score and (site_u, h) < (best.site_a, best.site_b)
+            ):
+                best = SwapProposal(site_u, h, score)
+    if best is not None:
+        return best
+    return _bfs_fallback(gate_qubits, phi, topology)
+
+
+def _score_swap(
+    u: int,
+    site_u: int,
+    target_site: int,
+    phi: Dict[int, int],
+    inverse_phi: Dict[int, int],
+    weights: InteractionWeights,
+    topology: Topology,
+) -> float:
+    """The paper's routing score for moving ``u`` from its site to
+    ``target_site`` (displacing whatever sits there)."""
+    score = 0.0
+    for v, weight in weights.partners(u).items():
+        if v == u or v not in phi:
+            continue
+        site_v = phi[v]
+        if v == inverse_phi.get(target_site):
+            # The displaced qubit is the partner itself; after the SWAP
+            # their distance is unchanged (they trade places), so skip.
+            continue
+        score += (
+            topology.distance(site_u, site_v) - topology.distance(target_site, site_v)
+        ) * weight
+    displaced = inverse_phi.get(target_site)
+    if displaced is not None and displaced != u:
+        for v, weight in weights.partners(displaced).items():
+            if v == displaced or v not in phi or v == u:
+                continue
+            site_v = phi[v]
+            # Displaced qubit moves from target_site to site_u; penalize
+            # (negative contribution) if that takes it away from partners.
+            score += (
+                topology.distance(target_site, site_v)
+                - topology.distance(site_u, site_v)
+            ) * weight
+    return score
+
+
+def _bfs_fallback(
+    gate_qubits: Sequence[int],
+    phi: Dict[int, int],
+    topology: Topology,
+) -> Optional[SwapProposal]:
+    """One hop along a shortest active path between the farthest operand
+    pair.  Returns ``None`` when the pair is disconnected."""
+    # Pick the farthest pair; walk u one hop toward v.
+    best_pair: Optional[Tuple[int, int]] = None
+    best_dist = -1.0
+    for i, u in enumerate(gate_qubits):
+        for v in gate_qubits[i + 1:]:
+            dist = topology.distance(phi[u], phi[v])
+            if dist > best_dist:
+                best_dist = dist
+                best_pair = (u, v)
+    if best_pair is None:
+        return None
+    site_u, site_v = phi[best_pair[0]], phi[best_pair[1]]
+    path = topology.shortest_path(site_u, site_v)
+    if path is None or len(path) < 3:
+        # No path, or the operands are already direct neighbors (swapping
+        # a pair with itself would achieve nothing).
+        return None
+    return SwapProposal(site_u, path[1], 0.0, via_path_fallback=True)
+
+
+def reroute_path_swaps(
+    site_a: int,
+    site_b: int,
+    topology: Topology,
+) -> Optional[List[Tuple[int, int]]]:
+    """SWAP chain bringing the atom at ``site_a`` within the MID of
+    ``site_b``, used by the Minor Rerouting loss strategy (§VI).
+
+    Walks a shortest active path and swaps until the moving atom's current
+    site is within interaction distance of ``site_b``.  Returns the list
+    of (from, to) swaps, possibly empty when already in range, or ``None``
+    when no path exists.
+    """
+    if topology.distance(site_a, site_b) <= topology.max_interaction_distance + 1e-9:
+        return [] if topology.is_active(site_a) and topology.is_active(site_b) else None
+    path = topology.shortest_path(site_a, site_b)
+    if path is None:
+        return None
+    swaps: List[Tuple[int, int]] = []
+    current = site_a
+    for nxt in path[1:]:
+        if topology.distance(current, site_b) <= topology.max_interaction_distance + 1e-9:
+            break
+        swaps.append((current, nxt))
+        current = nxt
+    return swaps

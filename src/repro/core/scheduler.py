@@ -1,0 +1,171 @@
+"""Zone-aware layer scheduler (§III-A).
+
+Proceeds timestep by timestep.  In each timestep it greedily commits, in
+program order:
+
+1. every frontier gate whose operands are within the MID and whose
+   restriction zone avoids the zones already committed this timestep;
+2. one routing SWAP per remaining too-far frontier gate, chosen by
+   :func:`repro.core.routing.propose_swap`, subject to the same zone and
+   busy-site constraints ("the SWAP is executed if it can run parallel
+   with the other executable operations, otherwise we must wait").
+
+SWAP effects apply between timesteps (parallel semantics).  A safety
+valve raises :class:`SchedulingStalledError` if the loop exceeds a
+generous timestep budget, which in practice only happens on disconnected
+topologies that slipped past the router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag, Frontier
+from repro.core.config import CompilerConfig
+from repro.core.errors import DisconnectedTopologyError, SchedulingStalledError
+from repro.core.result import ScheduledOp
+from repro.core.routing import propose_swap
+from repro.core.weights import frontier_weights
+from repro.hardware.restriction import RestrictionModel, Zone
+from repro.hardware.topology import Topology
+
+
+def schedule_circuit(
+    circuit: Circuit,
+    topology: Topology,
+    config: CompilerConfig,
+    initial_mapping: Dict[int, int],
+) -> Tuple[List[List[ScheduledOp]], Dict[int, int]]:
+    """Route and schedule ``circuit`` starting from ``initial_mapping``.
+
+    Returns ``(schedule, final_mapping)`` where the schedule is a list of
+    timesteps, each a list of :class:`ScheduledOp`.
+    """
+    dag = CircuitDag(circuit)
+    frontier = Frontier(dag)
+    restriction = config.restriction_model()
+    grid = topology.grid
+
+    phi: Dict[int, int] = dict(initial_mapping)
+    inverse_phi: Dict[int, int] = {site: q for q, site in phi.items()}
+    if len(inverse_phi) != len(phi):
+        raise ValueError("initial mapping is not injective")
+
+    schedule: List[List[ScheduledOp]] = []
+    max_timesteps = config.max_timestep_factor * (len(circuit) + 1)
+
+    while not frontier.all_done():
+        if len(schedule) >= max_timesteps:
+            raise SchedulingStalledError(
+                f"no progress after {len(schedule)} timesteps "
+                f"({frontier.num_done}/{len(dag)} gates scheduled)"
+            )
+        weights = frontier_weights(
+            frontier, config.lookahead_layers, config.lookahead_decay
+        )
+        timestep_index = len(schedule)
+        ops: List[ScheduledOp] = []
+        zones: List[Zone] = []
+        busy: Set[int] = set()
+        completed: List[int] = []
+        pending_swaps: List[Tuple[int, int]] = []
+
+        ready = sorted(frontier.ready)
+        blocked_far: List[int] = []
+
+        # Phase 1: execute everything already in range.
+        for idx in ready:
+            gate = dag.gate(idx)
+            sites = tuple(phi[q] for q in gate.qubits)
+            if any(s in busy for s in sites):
+                continue
+            if gate.arity >= 2 and not topology.can_interact(sites):
+                blocked_far.append(idx)
+                continue
+            if not _zone_fits(sites, zones, restriction, grid):
+                continue
+            ops.append(ScheduledOp(gate, sites, timestep_index, source_index=idx))
+            zones.append(_zone_of(sites, restriction, grid))
+            busy.update(sites)
+            completed.append(idx)
+
+        # Phase 2: one routing SWAP per still-blocked gate, if it fits.
+        for idx in blocked_far:
+            gate = dag.gate(idx)
+            if any(phi[q] in busy for q in gate.qubits):
+                continue
+            proposal = propose_swap(gate.qubits, phi, inverse_phi, topology, weights)
+            if proposal is None:
+                if not ops and not pending_swaps:
+                    raise DisconnectedTopologyError(
+                        f"cannot route gate {gate} — interaction graph "
+                        "is disconnected"
+                    )
+                continue
+            swap_sites = proposal.sites
+            if any(s in busy for s in swap_sites):
+                continue
+            if not _zone_fits(swap_sites, zones, restriction, grid):
+                continue
+            ops.append(
+                ScheduledOp(None, swap_sites, timestep_index, source_index=None)
+            )
+            zones.append(_zone_of(swap_sites, restriction, grid))
+            busy.update(swap_sites)
+            pending_swaps.append(swap_sites)
+
+        if not ops:
+            raise SchedulingStalledError(
+                "timestep committed no operations; "
+                f"{len(blocked_far)} gates blocked"
+            )
+
+        # Commit: mark gates done, then apply SWAP permutations.
+        for idx in completed:
+            frontier.complete(idx)
+        for site_a, site_b in pending_swaps:
+            _apply_swap(phi, inverse_phi, site_a, site_b)
+        schedule.append(ops)
+
+    return schedule, phi
+
+
+def _zone_of(sites: Tuple[int, ...], restriction: RestrictionModel, grid) -> Zone:
+    positions = [grid.position(s) for s in sites]
+    return restriction.zone_for(positions)
+
+
+def _zone_fits(
+    sites: Tuple[int, ...],
+    committed: List[Zone],
+    restriction: RestrictionModel,
+    grid,
+) -> bool:
+    """Whether a gate at ``sites`` is zone-compatible with this timestep.
+
+    Shared-site conflicts are checked by the caller via the busy set, so
+    this is purely the zone-intersection test (always true when zones are
+    disabled).
+    """
+    if restriction.disabled or not committed:
+        return True
+    zone = _zone_of(sites, restriction, grid)
+    return not any(zone.intersects(other) for other in committed)
+
+
+def _apply_swap(
+    phi: Dict[int, int],
+    inverse_phi: Dict[int, int],
+    site_a: int,
+    site_b: int,
+) -> None:
+    """Exchange the (possibly absent) program qubits at two sites."""
+    qubit_a: Optional[int] = inverse_phi.pop(site_a, None)
+    qubit_b: Optional[int] = inverse_phi.pop(site_b, None)
+    if qubit_a is not None:
+        phi[qubit_a] = site_b
+        inverse_phi[site_b] = qubit_a
+    if qubit_b is not None:
+        phi[qubit_b] = site_a
+        inverse_phi[site_a] = qubit_b

@@ -1,0 +1,36 @@
+"""Compiler correctness validation.
+
+The paper validates its compiler against Qiskit at MID 1 with no zones
+(§III-A).  Offline, we validate more strongly: the compiled schedule,
+replayed as a flat circuit over physical sites, must be *unitarily
+equivalent* to the source circuit modulo the initial and final layouts.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import CompiledProgram
+from repro.sim.equivalence import equivalent_under_layouts
+from repro.utils.rng import RngLike
+
+
+def check_compiled(
+    program: CompiledProgram,
+    trials: int = 6,
+    rng: RngLike = 0,
+) -> bool:
+    """Statistically verify a compiled program against its source.
+
+    Embeds random basis states through the initial layout, runs the
+    physical schedule, and compares against the source circuit through
+    the final layout.  Only practical for programs on small grids
+    (sites <= ~14); the test suite covers 3x3 and 4x3 devices.
+    """
+    physical = program.to_physical_circuit()
+    return equivalent_under_layouts(
+        program.source,
+        physical,
+        program.initial_layout,
+        program.final_layout,
+        trials=trials,
+        rng=rng,
+    )

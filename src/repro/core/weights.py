@@ -1,0 +1,99 @@
+"""Lookahead interaction weights (§III-A).
+
+The weighted interaction graph drives both placement and routing: program
+qubits ``u, v`` get weight
+
+    w(u, v) = sum_{l >= l_c} e^{-decay * |l_c - l|}
+
+summed over future DAG layers ``l`` containing a gate acting on both
+(every operand pair, for multiqubit gates).  ``l_c`` is the current
+frontier layer, so gates about to execute dominate and distant ones decay
+exponentially.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.circuits.dag import CircuitDag, Frontier, interaction_pairs
+
+Pair = Tuple[int, int]
+
+
+class InteractionWeights:
+    """A symmetric sparse weight map over program-qubit pairs."""
+
+    def __init__(self) -> None:
+        self._weights: Dict[Pair, float] = defaultdict(float)
+        self._per_qubit: Dict[int, Dict[int, float]] = defaultdict(dict)
+
+    @staticmethod
+    def _key(u: int, v: int) -> Pair:
+        return (u, v) if u <= v else (v, u)
+
+    def add(self, u: int, v: int, weight: float) -> None:
+        self._weights[self._key(u, v)] += weight
+        self._per_qubit[u][v] = self._per_qubit[u].get(v, 0.0) + weight
+        self._per_qubit[v][u] = self._per_qubit[v].get(u, 0.0) + weight
+
+    def weight(self, u: int, v: int) -> float:
+        return self._weights.get(self._key(u, v), 0.0)
+
+    def partners(self, u: int) -> Dict[int, float]:
+        """All qubits with nonzero weight to ``u`` and those weights."""
+        return self._per_qubit.get(u, {})
+
+    def total_weight(self, u: int) -> float:
+        return sum(self._per_qubit.get(u, {}).values())
+
+    def heaviest_pair(self) -> Pair:
+        if not self._weights:
+            raise ValueError("no interactions recorded")
+        # Deterministic tie-break on the pair itself.
+        return max(self._weights, key=lambda p: (self._weights[p], (-p[0], -p[1])))
+
+    def pairs(self) -> List[Pair]:
+        return list(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+
+def weights_from_layers(
+    layers: List[List[int]],
+    dag: CircuitDag,
+    decay: float = 1.0,
+) -> InteractionWeights:
+    """Build weights from an explicit layer structure.
+
+    ``layers[0]`` is the frontier (``l = l_c``), so the weight contribution
+    of a gate in ``layers[k]`` is ``e^{-decay * k}``.
+    """
+    weights = InteractionWeights()
+    for offset, layer in enumerate(layers):
+        factor = math.exp(-decay * offset)
+        for gate_idx in layer:
+            gate = dag.gate(gate_idx)
+            if gate.arity < 2 or gate.is_measurement:
+                continue
+            for u, v in interaction_pairs(gate):
+                weights.add(u, v, factor)
+    return weights
+
+
+def initial_weights(
+    dag: CircuitDag, max_layers: int = 40, decay: float = 1.0
+) -> InteractionWeights:
+    """Weights as seen from the start of the program (placement view)."""
+    layers = dag.layers()[:max_layers]
+    return weights_from_layers(layers, dag, decay=decay)
+
+
+def frontier_weights(
+    frontier: Frontier, max_layers: int = 10, decay: float = 1.0
+) -> InteractionWeights:
+    """Weights as seen from the current execution frontier (routing view)."""
+    layers = frontier.remaining_layers(max_layers)
+    return weights_from_layers(layers, frontier.dag, decay=decay)

@@ -1,0 +1,75 @@
+"""Experiment drivers: one module per figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> <Fig>Result`` (with paper-scale
+defaults and knobs for quick runs) and a ``main()`` that prints the
+figure's rows/series.  The complete index lives in DESIGN.md §2.
+"""
+
+from repro.experiments import (
+    ablation_lookahead,
+    ablation_margin,
+    ablation_zones,
+    ext_device_scaling,
+    ext_ejection_readout,
+    ext_geometry,
+    ext_trapped_ion,
+    ext_validation_noisy,
+    fig3_gate_count,
+    fig4_depth,
+    fig5_serialization,
+    fig6_multiqubit,
+    fig7_success,
+    fig8_program_size,
+    fig10_loss_tolerance,
+    fig11_shot_success,
+    fig12_overhead,
+    fig13_sensitivity,
+    fig14_timeline,
+    validation,
+)
+
+ALL_EXPERIMENTS = {
+    "fig3": fig3_gate_count,
+    "fig4": fig4_depth,
+    "fig5": fig5_serialization,
+    "fig6": fig6_multiqubit,
+    "fig7": fig7_success,
+    "fig8": fig8_program_size,
+    "fig10": fig10_loss_tolerance,
+    "fig11": fig11_shot_success,
+    "fig12": fig12_overhead,
+    "fig13": fig13_sensitivity,
+    "fig14": fig14_timeline,
+    "validation": validation,
+    "ablation-zones": ablation_zones,
+    "ablation-lookahead": ablation_lookahead,
+    "ablation-margin": ablation_margin,
+    "ext-ejection": ext_ejection_readout,
+    "ext-scaling": ext_device_scaling,
+    "ext-trapped-ion": ext_trapped_ion,
+    "ext-geometry": ext_geometry,
+    "ext-noisy-validation": ext_validation_noisy,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [
+    "ablation_lookahead",
+    "ablation_margin",
+    "ablation_zones",
+    "ext_device_scaling",
+    "ext_ejection_readout",
+    "ext_geometry",
+    "ext_trapped_ion",
+    "ext_validation_noisy",
+    "fig3_gate_count",
+    "fig4_depth",
+    "fig5_serialization",
+    "fig6_multiqubit",
+    "fig7_success",
+    "fig8_program_size",
+    "fig10_loss_tolerance",
+    "fig11_shot_success",
+    "fig12_overhead",
+    "fig13_sensitivity",
+    "fig14_timeline",
+    "validation",
+]

@@ -1,0 +1,112 @@
+"""Ablation — restriction-zone shape and crosstalk-motivated extension.
+
+§IV-A raises two zone design questions the main figures do not sweep:
+
+* how sensitive are the results to the radius function ``f``?  We compare
+  ``f(d) = 0`` (ideal), ``d/2`` (paper), and ``d`` (harsh);
+* the paper suggests *artificially extending* zones to suppress crosstalk
+  "by increasing serialization" — the ``zone_scale`` knob.  We quantify
+  the depth price of scales 1.0, 1.5, and 2.0.
+
+Depth must be monotone in both knobs; gate counts should be unaffected
+(zones serialize, they do not reroute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import compile_circuit
+from repro.core.config import CompilerConfig
+from repro.hardware.topology import Topology
+from repro.utils.textplot import format_table
+from repro.workloads.registry import build_circuit
+
+GRID_SIDE = 10
+RADIUS_FUNCTIONS = ("none", "half", "full")
+ZONE_SCALES = (1.0, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class ZoneAblationPoint:
+    benchmark: str
+    size: int
+    mid: float
+    radius: str
+    zone_scale: float
+    gates: int
+    depth: int
+
+
+@dataclass
+class ZoneAblationResult:
+    points: List[ZoneAblationPoint] = field(default_factory=list)
+
+    def select(
+        self, benchmark: str, radius: str, zone_scale: float
+    ) -> ZoneAblationPoint:
+        for p in self.points:
+            if (p.benchmark == benchmark and p.radius == radius
+                    and abs(p.zone_scale - zone_scale) < 1e-9):
+                return p
+        raise KeyError((benchmark, radius, zone_scale))
+
+    def format(self) -> str:
+        lines = ["Ablation — Restriction Zone Shape and Scale",
+                 "(same MID everywhere; zones change depth, not gates)", ""]
+        rows = [
+            (p.benchmark, p.size, f"{p.mid:g}", p.radius,
+             f"{p.zone_scale:g}", p.gates, p.depth)
+            for p in self.points
+        ]
+        lines.append(format_table(
+            ["benchmark", "size", "MID", "f(d)", "scale", "gates", "depth"],
+            rows,
+        ))
+        return "\n".join(lines)
+
+
+def run(
+    benchmarks: Sequence[str] = ("qaoa", "qft-adder", "cuccaro"),
+    program_size: int = 30,
+    mid: float = 4.0,
+    radius_functions: Sequence[str] = RADIUS_FUNCTIONS,
+    zone_scales: Sequence[float] = ZONE_SCALES,
+) -> ZoneAblationResult:
+    """Run the zone ablation grid."""
+    result = ZoneAblationResult()
+    for benchmark in benchmarks:
+        circuit = build_circuit(benchmark, program_size)
+        for radius in radius_functions:
+            scales = zone_scales if radius != "none" else (1.0,)
+            for scale in scales:
+                config = CompilerConfig(
+                    max_interaction_distance=mid,
+                    restriction_radius=radius,
+                    zone_scale=scale,
+                    native_max_arity=2,
+                )
+                program = compile_circuit(
+                    circuit, Topology.square(GRID_SIDE, mid), config
+                )
+                result.points.append(
+                    ZoneAblationPoint(
+                        benchmark=benchmark,
+                        size=circuit.num_qubits,
+                        mid=mid,
+                        radius=radius,
+                        zone_scale=scale,
+                        gates=program.gate_count(),
+                        depth=program.depth(),
+                    )
+                )
+    return result
+
+
+def main() -> None:
+    print(run(benchmarks=("qaoa",), program_size=20).format())
+
+
+if __name__ == "__main__":
+    main()

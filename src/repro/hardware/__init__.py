@@ -1,0 +1,25 @@
+"""Neutral-atom hardware models: geometry, zones, noise, timing, loss."""
+
+from repro.hardware.grid import Grid
+from repro.hardware.loss import LossModel
+from repro.hardware.noise import NoiseModel
+from repro.hardware.restriction import (
+    RestrictionModel,
+    Zone,
+    half_distance,
+    no_restriction,
+)
+from repro.hardware.timing import TimingModel
+from repro.hardware.topology import Topology
+
+__all__ = [
+    "Grid",
+    "LossModel",
+    "NoiseModel",
+    "RestrictionModel",
+    "TimingModel",
+    "Topology",
+    "Zone",
+    "half_distance",
+    "no_restriction",
+]

@@ -1,0 +1,125 @@
+"""2D grid of optical-tweezer sites.
+
+The paper models the device as a regular square 2D array of trapped atoms
+(§III-A).  A :class:`Grid` is the immutable geometry — site indices, their
+(row, col) positions, Euclidean distances — while :class:`SiteSet`
+(in :mod:`repro.hardware.topology`) layers the mutable occupancy (atom
+loss) on top.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
+
+Position = Tuple[int, int]
+
+
+class Grid:
+    """A ``rows x cols`` unit-pitch grid of sites.
+
+    Sites are indexed row-major: site ``r * cols + c`` sits at ``(r, c)``.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.num_sites = rows * cols
+
+    @classmethod
+    def square(cls, side: int) -> "Grid":
+        return cls(side, side)
+
+    # -- geometry -------------------------------------------------------------
+
+    def position(self, site: int) -> Position:
+        if not 0 <= site < self.num_sites:
+            raise IndexError(f"site {site} outside grid of {self.num_sites}")
+        return divmod(site, self.cols)
+
+    def site_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"position ({row}, {col}) outside grid")
+        return row * self.cols + col
+
+    def in_bounds(self, row: int, col: int) -> bool:
+        return 0 <= row < self.rows and 0 <= col < self.cols
+
+    def sites(self) -> Iterator[int]:
+        return iter(range(self.num_sites))
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two sites (unit pitch)."""
+        ra, ca = divmod(a, self.cols)
+        rb, cb = divmod(b, self.cols)
+        return math.hypot(ra - rb, ca - cb)
+
+    def max_distance(self) -> float:
+        """Corner-to-corner distance — the MID giving all-to-all connectivity.
+
+        For the paper's 10x10 device this is ``hypot(9, 9) ~= 12.73``,
+        the "13" of its sweeps.
+        """
+        return math.hypot(self.rows - 1, self.cols - 1)
+
+    def center_site(self) -> int:
+        return self.site_at(self.rows // 2, self.cols // 2)
+
+    def sites_by_center_distance(self) -> List[int]:
+        """All sites ordered by distance from the grid's geometric center.
+
+        Used by the initial mapper, which grows the placement outward from
+        the device center (§III-A).
+        """
+        center = ((self.rows - 1) / 2.0, (self.cols - 1) / 2.0)
+        def key(site: int) -> Tuple[float, int]:
+            r, c = divmod(site, self.cols)
+            return (math.hypot(r - center[0], c - center[1]), site)
+        return sorted(range(self.num_sites), key=key)
+
+    # -- interaction neighborhoods ---------------------------------------------
+
+    def neighbor_offsets(self, max_distance: float) -> Tuple[Position, ...]:
+        """All nonzero ``(dr, dc)`` with Euclidean norm <= ``max_distance``."""
+        return _offsets_within(round(max_distance * 1e9))
+
+    def neighbors(self, site: int, max_distance: float) -> List[int]:
+        """Sites within interaction range of ``site`` (excluding itself)."""
+        row, col = divmod(site, self.cols)
+        result = []
+        for dr, dc in self.neighbor_offsets(max_distance):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                result.append(r * self.cols + c)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Grid({self.rows}x{self.cols})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return self.rows == other.rows and self.cols == other.cols
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.cols))
+
+
+@lru_cache(maxsize=128)
+def _offsets_within(scaled_distance: int) -> Tuple[Position, ...]:
+    """Offsets with norm <= scaled_distance / 1e9, cached across grids."""
+    max_distance = scaled_distance / 1e9
+    limit = int(math.floor(max_distance + 1e-9))
+    offsets = []
+    for dr in range(-limit, limit + 1):
+        for dc in range(-limit, limit + 1):
+            if dr == 0 and dc == 0:
+                continue
+            if math.hypot(dr, dc) <= max_distance + 1e-9:
+                offsets.append((dr, dc))
+    # Sort nearest-first so greedy consumers prefer short swaps.
+    offsets.sort(key=lambda o: (math.hypot(o[0], o[1]), o))
+    return tuple(offsets)

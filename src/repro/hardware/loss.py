@@ -1,0 +1,113 @@
+"""Stochastic atom-loss model (§VI).
+
+Two loss processes:
+
+* **Vacuum-limited lifetime** — a background-gas collision ejects the atom.
+  Probability ~0.0068 per qubit over the course of one program, uniform
+  across all atoms in the array (the paper cites 2000-shot imaging of Sr
+  tweezers).
+* **Readout loss** — measurement is lossy.  The default "lossless" imaging
+  technique still loses ~2% of *measured* atoms per shot; the destructive
+  ejection-based readout loses ~50%.
+
+An ``improvement_factor`` scales both probabilities down (Fig 13 sweeps it
+from 0.1x to 100x better than today).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Set
+
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Paper constants.
+VACUUM_LOSS_PROBABILITY = 0.0068
+LOSSLESS_READOUT_LOSS = 0.02
+EJECTION_READOUT_LOSS = 0.50
+
+
+@dataclass(frozen=True)
+class LossModel:
+    """Per-shot atom loss probabilities."""
+
+    #: Probability a given atom is lost to a vacuum collision during one shot.
+    vacuum_loss: float = VACUUM_LOSS_PROBABILITY
+    #: Probability a *measured* atom is lost during readout of one shot.
+    measurement_loss: float = LOSSLESS_READOUT_LOSS
+    #: Technology-improvement multiplier: 10.0 means 10x lower loss rates.
+    improvement_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vacuum_loss <= 1.0:
+            raise ValueError(f"vacuum_loss out of range: {self.vacuum_loss}")
+        if not 0.0 <= self.measurement_loss <= 1.0:
+            raise ValueError(f"measurement_loss out of range: {self.measurement_loss}")
+        if self.improvement_factor <= 0:
+            raise ValueError("improvement_factor must be positive")
+
+    @classmethod
+    def lossless_readout(cls, improvement_factor: float = 1.0) -> "LossModel":
+        """The paper's default: 2% measured-atom loss + vacuum loss."""
+        return cls(improvement_factor=improvement_factor)
+
+    @classmethod
+    def ejection_readout(cls, improvement_factor: float = 1.0) -> "LossModel":
+        """Destructive state-selective readout: ~50% measured-atom loss."""
+        return cls(
+            measurement_loss=EJECTION_READOUT_LOSS,
+            improvement_factor=improvement_factor,
+        )
+
+    @classmethod
+    def none(cls) -> "LossModel":
+        return cls(vacuum_loss=0.0, measurement_loss=0.0)
+
+    def improved(self, factor: float) -> "LossModel":
+        return replace(self, improvement_factor=self.improvement_factor * factor)
+
+    # -- effective rates -----------------------------------------------------------
+
+    @property
+    def effective_vacuum_loss(self) -> float:
+        return min(1.0, self.vacuum_loss / self.improvement_factor)
+
+    @property
+    def effective_measurement_loss(self) -> float:
+        return min(1.0, self.measurement_loss / self.improvement_factor)
+
+    # -- sampling ---------------------------------------------------------------------
+
+    def sample_shot_losses(
+        self,
+        all_sites: Iterable[int],
+        measured_sites: Iterable[int],
+        rng: RngLike = None,
+    ) -> Set[int]:
+        """Sites whose atoms are lost during one shot.
+
+        Vacuum loss applies to every occupied site in the array; readout
+        loss additionally applies to measured sites.
+        """
+        generator = ensure_rng(rng)
+        lost: Set[int] = set()
+        p_vac = self.effective_vacuum_loss
+        p_meas = self.effective_measurement_loss
+        measured = set(measured_sites)
+        for site in all_sites:
+            p = p_vac
+            if site in measured:
+                p = 1.0 - (1.0 - p) * (1.0 - p_meas)
+            if p > 0 and generator.random() < p:
+                lost.add(site)
+        return lost
+
+    def expected_losses_per_shot(
+        self, num_sites: int, num_measured: int
+    ) -> float:
+        """Mean number of atoms lost per shot."""
+        p_vac = self.effective_vacuum_loss
+        p_meas = self.effective_measurement_loss
+        unmeasured = num_sites - num_measured
+        combined = 1.0 - (1.0 - p_vac) * (1.0 - p_meas)
+        return unmeasured * p_vac + num_measured * combined

@@ -1,0 +1,62 @@
+"""Wall-clock timing model for shot-level execution (§VI).
+
+Atom-loss coping is a *time* optimization: the array reload is ~seconds,
+fluorescence imaging ~6 ms, a hardware virtual-remap table update ~40 ns,
+and recompilation is software-speed.  This model carries those constants
+so the loss runner can account total overhead for a batch of shots
+(Figs 12 and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Durations, in seconds, of every action in the shot loop."""
+
+    #: Full array reload (paper: "on the order of one second"; the Fig 14
+    #: timeline uses 0.3 s, which we adopt as the default).
+    reload_time: float = 0.3
+    #: Fluorescence imaging to detect atom loss after each shot (~6 ms).
+    fluorescence_time: float = 6e-3
+    #: Hardware lookup-table update for virtual remapping (~40 ns, cited
+    #: from DRAM remapping literature).
+    remap_time: float = 40e-9
+    #: Software cost of planning a reroute fixup (path search; microseconds
+    #: once the lookup structures exist — the paper's Fig 14 shows the
+    #: "circuit fixup" band at the tens-of-microseconds scale).
+    reroute_fixup_time: float = 61e-6
+    #: arity -> gate duration in seconds, for converting a schedule to run time.
+    gate_time: Mapping[int, float] = None  # type: ignore[assignment]
+    #: Wall-clock cost of one full recompilation.  ``None`` means "measure
+    #: the actual compiler" (the honest reproduction of the paper's claim
+    #: that recompilation exceeds reload time).
+    recompile_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.gate_time is None:
+            object.__setattr__(self, "gate_time", {1: 1.0e-6, 2: 0.4e-6, 3: 0.8e-6})
+        for name in ("reload_time", "fluorescence_time", "remap_time",
+                     "reroute_fixup_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def gate_duration(self, arity: int) -> float:
+        if arity in self.gate_time:
+            return self.gate_time[arity]
+        return self.gate_time[max(self.gate_time)]
+
+    def swap_duration(self) -> float:
+        """A routing SWAP is three two-qubit gates."""
+        return 3.0 * self.gate_duration(2)
+
+    def with_reload_time(self, reload_time: float) -> "TimingModel":
+        return replace(self, reload_time=reload_time)
+
+    @classmethod
+    def paper_defaults(cls) -> "TimingModel":
+        """The constants used throughout §VI (reload 0.3 s, fluorescence 6 ms)."""
+        return cls()

@@ -1,0 +1,165 @@
+"""Occupancy-aware device topology.
+
+Combines a :class:`~repro.hardware.grid.Grid` with the set of sites that
+still hold an atom.  Atom loss (§VI) punches holes in the occupancy; the
+compiler and the loss-coping strategies both query connectivity through
+this class so "recompile on the sparser grid" is just "compile on a
+Topology with more holes".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.hardware.grid import Grid
+
+
+class Topology:
+    """A grid plus the set of lost (empty) sites and the interaction range."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        max_interaction_distance: float,
+        lost_sites: Optional[Iterable[int]] = None,
+    ):
+        if max_interaction_distance < 1.0:
+            raise ValueError(
+                "max interaction distance below 1 leaves the grid fully "
+                f"disconnected (got {max_interaction_distance})"
+            )
+        self.grid = grid
+        self.max_interaction_distance = float(max_interaction_distance)
+        self._lost: Set[int] = set(lost_sites or ())
+        for site in self._lost:
+            if not 0 <= site < grid.num_sites:
+                raise IndexError(f"lost site {site} outside grid")
+
+    @classmethod
+    def square(
+        cls, side: int, max_interaction_distance: float
+    ) -> "Topology":
+        return cls(Grid.square(side), max_interaction_distance)
+
+    def copy(self) -> "Topology":
+        return Topology(self.grid, self.max_interaction_distance, self._lost)
+
+    def with_interaction_distance(self, distance: float) -> "Topology":
+        """Same grid and holes, different MID (used by compile-small)."""
+        return Topology(self.grid, distance, self._lost)
+
+    # -- occupancy ---------------------------------------------------------------
+
+    @property
+    def lost_sites(self) -> FrozenSet[int]:
+        return frozenset(self._lost)
+
+    def active_sites(self) -> List[int]:
+        return [s for s in range(self.grid.num_sites) if s not in self._lost]
+
+    @property
+    def num_active(self) -> int:
+        return self.grid.num_sites - len(self._lost)
+
+    def is_active(self, site: int) -> bool:
+        return 0 <= site < self.grid.num_sites and site not in self._lost
+
+    def remove_atom(self, site: int) -> None:
+        """Record loss of the atom at ``site``."""
+        if site in self._lost:
+            raise ValueError(f"site {site} already lost")
+        if not 0 <= site < self.grid.num_sites:
+            raise IndexError(f"site {site} outside grid")
+        self._lost.add(site)
+
+    def reload(self) -> None:
+        """Refill every site (a full array reload)."""
+        self._lost.clear()
+
+    # -- interaction queries --------------------------------------------------
+
+    def distance(self, a: int, b: int) -> float:
+        return self.grid.distance(a, b)
+
+    def can_interact(self, sites: Iterable[int]) -> bool:
+        """Whether all (active) sites are pairwise within the MID."""
+        sites = list(sites)
+        for site in sites:
+            if not self.is_active(site):
+                return False
+        for i in range(len(sites)):
+            for j in range(i + 1, len(sites)):
+                if self.grid.distance(sites[i], sites[j]) > self.max_interaction_distance + 1e-9:
+                    return False
+        return True
+
+    def neighbors(self, site: int) -> List[int]:
+        """Active sites within interaction range of ``site``."""
+        return [
+            s for s in self.grid.neighbors(site, self.max_interaction_distance)
+            if s not in self._lost
+        ]
+
+    # -- graph queries ------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the active-site interaction graph is one component."""
+        active = self.active_sites()
+        if not active:
+            return True
+        seen = {active[0]}
+        queue = deque([active[0]])
+        while queue:
+            site = queue.popleft()
+            for nbr in self.neighbors(site):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        return len(seen) == len(active)
+
+    def hop_distances_from(self, source: int) -> Dict[int, int]:
+        """BFS hop counts from ``source`` over the active interaction graph."""
+        if not self.is_active(source):
+            raise ValueError(f"source site {source} is not active")
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            site = queue.popleft()
+            for nbr in self.neighbors(site):
+                if nbr not in dist:
+                    dist[nbr] = dist[site] + 1
+                    queue.append(nbr)
+        return dist
+
+    def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
+        """Shortest active-site path (by hops) from ``source`` to ``target``.
+
+        Returns ``None`` when disconnected.  Ties break toward smaller site
+        index for determinism.
+        """
+        if not (self.is_active(source) and self.is_active(target)):
+            return None
+        if source == target:
+            return [source]
+        parent: Dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            site = queue.popleft()
+            for nbr in sorted(self.neighbors(site)):
+                if nbr in parent:
+                    continue
+                parent[nbr] = site
+                if nbr == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(nbr)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.grid!r}, MID={self.max_interaction_distance}, "
+            f"lost={len(self._lost)})"
+        )

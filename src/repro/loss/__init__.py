@@ -1,0 +1,42 @@
+"""Atom-loss modelling: coping strategies, shot runner, tolerance sweeps."""
+
+from repro.loss.runner import RunResult, ShotRunner
+from repro.loss.strategies import (
+    AlwaysRecompile,
+    AlwaysReload,
+    CompileSmall,
+    CompileSmallReroute,
+    CopingStrategy,
+    LossOutcome,
+    MinorReroute,
+    STRATEGY_ORDER,
+    VirtualRemap,
+    make_strategy,
+    max_swap_budget,
+)
+from repro.loss.timeline import TimelineEvent, render_timeline, totals_by_kind
+from repro.loss.tolerance import ToleranceResult, max_loss_tolerance
+from repro.loss.virtual_map import RemapFailed, VirtualMap
+
+__all__ = [
+    "AlwaysRecompile",
+    "AlwaysReload",
+    "CompileSmall",
+    "CompileSmallReroute",
+    "CopingStrategy",
+    "LossOutcome",
+    "MinorReroute",
+    "RemapFailed",
+    "RunResult",
+    "STRATEGY_ORDER",
+    "ShotRunner",
+    "TimelineEvent",
+    "ToleranceResult",
+    "VirtualMap",
+    "VirtualRemap",
+    "make_strategy",
+    "max_loss_tolerance",
+    "max_swap_budget",
+    "render_timeline",
+    "totals_by_kind",
+]

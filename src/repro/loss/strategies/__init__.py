@@ -1,0 +1,53 @@
+"""The paper's six atom-loss coping strategies (§VI)."""
+
+from typing import Dict, List, Optional, Type
+
+from repro.hardware.noise import NoiseModel
+from repro.loss.strategies.always_reload import AlwaysReload
+from repro.loss.strategies.base import CopingStrategy, LossOutcome, max_swap_budget
+from repro.loss.strategies.compile_small import CompileSmall, CompileSmallReroute
+from repro.loss.strategies.recompile import AlwaysRecompile
+from repro.loss.strategies.reroute import MinorReroute
+from repro.loss.strategies.virtual_remap import VirtualRemap
+
+#: Display order matching the paper's Fig 10 legend.
+STRATEGY_ORDER: List[str] = [
+    "virtual remapping",
+    "reroute",
+    "compile small",
+    "c. small+reroute",
+    "recompile",
+]
+
+
+def make_strategy(name: str, noise: Optional[NoiseModel] = None) -> CopingStrategy:
+    """Build a strategy by its paper-legend name."""
+    key = name.lower()
+    if key in ("virtual remapping", "virtual remap", "remap"):
+        return VirtualRemap()
+    if key in ("reroute", "minor reroute", "minor rerouting"):
+        return MinorReroute(noise=noise)
+    if key in ("compile small", "c. small"):
+        return CompileSmall()
+    if key in ("c. small+reroute", "compile small + reroute", "compile small reroute"):
+        return CompileSmallReroute(noise=noise)
+    if key in ("recompile", "always recompile", "full recompile"):
+        return AlwaysRecompile()
+    if key in ("always reload", "reload"):
+        return AlwaysReload()
+    raise KeyError(f"unknown strategy {name!r}")
+
+
+__all__ = [
+    "AlwaysRecompile",
+    "AlwaysReload",
+    "CompileSmall",
+    "CompileSmallReroute",
+    "CopingStrategy",
+    "LossOutcome",
+    "MinorReroute",
+    "STRATEGY_ORDER",
+    "VirtualRemap",
+    "make_strategy",
+    "max_swap_budget",
+]

@@ -1,0 +1,22 @@
+"""Always Reload (§VI): the naive baseline.
+
+Any loss touching the program triggers a full array reload.  Only one
+compilation ever happens, and there is no adaptation state at all — the
+entire cost is reload time, which is why it anchors the overhead
+comparison of Fig 12.
+"""
+
+from __future__ import annotations
+
+from repro.loss.strategies.base import CopingStrategy, LossOutcome
+
+
+class AlwaysReload(CopingStrategy):
+    """Reload on every interfering loss."""
+
+    name = "always reload"
+
+    def on_loss(self, site: int) -> LossOutcome:
+        if site not in self.program.used_sites():
+            return LossOutcome.spare_loss()
+        return LossOutcome.needs_reload()

@@ -1,0 +1,69 @@
+"""Execution timeline records (Fig 14).
+
+The shot runner emits a flat list of :class:`TimelineEvent`; rendering
+them as a labelled text trace reproduces the paper's timeline figure
+(compile / run circuit / fluorescence / circuit fixup / reload atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+#: Event kinds, in the paper's legend order.
+EVENT_KINDS = ("compile", "run", "fluorescence", "fixup", "reload")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One contiguous activity segment."""
+
+    kind: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.duration < 0 or self.start < 0:
+            raise ValueError("timeline events need non-negative start/duration")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def totals_by_kind(events: Iterable[TimelineEvent]) -> Dict[str, float]:
+    """Total seconds per event kind."""
+    totals = {kind: 0.0 for kind in EVENT_KINDS}
+    for event in events:
+        totals[event.kind] += event.duration
+    return totals
+
+
+def render_timeline(events: List[TimelineEvent], width: int = 100) -> str:
+    """ASCII strip chart of a trace (one character column per time slice).
+
+    Each column shows the event kind occupying most of that slice:
+    C=compile, r=run, f=fluorescence, x=fixup, R=reload, .=idle.
+    """
+    if not events:
+        return "(empty timeline)"
+    total = max(e.end for e in events)
+    if total <= 0:
+        return "(zero-length timeline)"
+    symbols = {"compile": "C", "run": "r", "fluorescence": "f",
+               "fixup": "x", "reload": "R"}
+    columns = []
+    slice_width = total / width
+    for i in range(width):
+        lo, hi = i * slice_width, (i + 1) * slice_width
+        best_kind, best_overlap = None, 0.0
+        for event in events:
+            overlap = min(hi, event.end) - max(lo, event.start)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best_kind = event.kind
+        columns.append(symbols.get(best_kind, "."))
+    legend = "  ".join(f"{sym}={kind}" for kind, sym in symbols.items())
+    return f"|{''.join(columns)}|  total={total:.3f}s\n{legend}"

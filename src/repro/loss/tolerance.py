@@ -1,0 +1,95 @@
+"""Maximum atom-loss tolerance (Fig 10).
+
+How many atoms can each strategy lose — one by one, uniformly at random
+over the remaining array — before it must reload?  Reported as a fraction
+of total device size, averaged over trials.
+
+Upper bounds from the paper's reasoning, all reproduced by these
+simulations:
+
+* recompile tolerates up to ``1 - program/device`` (70% for a 30-qubit
+  program on 100 sites) once the MID bridges any holes;
+* the remap/reroute family is capped lower because shifting needs a
+  spare *in line* with the hole and rerouting needs connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.core.config import CompilerConfig
+from repro.hardware.topology import Topology
+from repro.loss.strategies.base import CopingStrategy
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ToleranceResult:
+    """Loss tolerance of one (strategy, program, device) combination."""
+
+    strategy_name: str
+    device_sites: int
+    losses_sustained: List[int] = field(default_factory=list)
+
+    @property
+    def mean_losses(self) -> float:
+        if not self.losses_sustained:
+            return 0.0
+        return sum(self.losses_sustained) / len(self.losses_sustained)
+
+    @property
+    def mean_fraction(self) -> float:
+        """Mean tolerated loss as a fraction of device size (Fig 10's y-axis)."""
+        return self.mean_losses / self.device_sites
+
+    @property
+    def std_fraction(self) -> float:
+        if len(self.losses_sustained) < 2:
+            return 0.0
+        mean = self.mean_losses
+        var = sum((x - mean) ** 2 for x in self.losses_sustained) / (
+            len(self.losses_sustained) - 1
+        )
+        return (var**0.5) / self.device_sites
+
+
+def max_loss_tolerance(
+    strategy: CopingStrategy,
+    circuit: Circuit,
+    grid_side: int,
+    max_interaction_distance: float,
+    config: Optional[CompilerConfig] = None,
+    trials: int = 5,
+    rng: RngLike = 0,
+) -> ToleranceResult:
+    """Measure how many uniform random losses ``strategy`` survives.
+
+    Each trial starts from a fresh full array, removes random atoms one at
+    a time (letting the strategy adapt after each), and stops at the first
+    loss the strategy cannot cope with.  That failing loss is not counted.
+    """
+    generator = ensure_rng(rng)
+    base_config = config or CompilerConfig(
+        max_interaction_distance=max_interaction_distance
+    )
+    result = ToleranceResult(
+        strategy_name=strategy.name, device_sites=grid_side * grid_side
+    )
+    for _ in range(trials):
+        topology = Topology.square(grid_side, max_interaction_distance)
+        strategy.begin(circuit, topology, base_config)
+        sustained = 0
+        while True:
+            active = topology.active_sites()
+            if not active:
+                break
+            site = int(active[int(generator.integers(len(active)))])
+            topology.remove_atom(site)
+            outcome = strategy.on_loss(site)
+            if not outcome.coped:
+                break
+            sustained += 1
+        result.losses_sustained.append(sustained)
+    return result

@@ -1,0 +1,22 @@
+"""Dense statevector simulation and equivalence checking."""
+
+from repro.sim.equivalence import (
+    circuits_equivalent,
+    equivalent_on_clean_ancillas,
+    equivalent_under_layouts,
+    unitaries_equal_up_to_phase,
+)
+from repro.sim.noisy import NoisySimResult, sample_noisy_shots
+from repro.sim.statevector import Statevector, circuit_unitary, run
+
+__all__ = [
+    "NoisySimResult",
+    "Statevector",
+    "sample_noisy_shots",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "equivalent_on_clean_ancillas",
+    "equivalent_under_layouts",
+    "run",
+    "unitaries_equal_up_to_phase",
+]

@@ -1,0 +1,123 @@
+"""Circuit equivalence checks.
+
+Compiled circuits are equivalent to their source *up to qubit layout*: the
+initial mapping places program qubits on physical sites, and routing SWAPs
+permute that mapping over time.  These helpers verify equivalence either
+exactly (unitary comparison, tiny circuits) or by probing basis states
+(up to ~14 qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.sim.statevector import Statevector, circuit_unitary
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def unitaries_equal_up_to_phase(u: np.ndarray, v: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether two unitaries are equal up to a global phase."""
+    if u.shape != v.shape:
+        return False
+    flat_index = int(np.argmax(np.abs(u)))
+    ref_u = u.flat[flat_index]
+    ref_v = v.flat[flat_index]
+    if abs(ref_v) < atol:
+        return False
+    phase = ref_u / ref_v
+    return bool(np.allclose(u, v * phase, atol=atol))
+
+
+def circuits_equivalent(a: Circuit, b: Circuit, atol: float = 1e-8) -> bool:
+    """Exact unitary equivalence (up to global phase) for small circuits."""
+    width = max(a.num_qubits, b.num_qubits)
+    a_padded = Circuit(width, a.without_measurements().gates)
+    b_padded = Circuit(width, b.without_measurements().gates)
+    return unitaries_equal_up_to_phase(
+        circuit_unitary(a_padded), circuit_unitary(b_padded), atol=atol
+    )
+
+
+def equivalent_on_clean_ancillas(
+    reference: Circuit,
+    implementation: Circuit,
+    ancilla_qubits,
+    atol: float = 1e-8,
+) -> bool:
+    """Equivalence restricted to inputs where every ancilla is |0>.
+
+    Clean-ancilla constructions (the mcx AND-ladder) are only required to
+    match the reference on that subspace; they must also return ancillas
+    to |0> so the comparison covers leakage too.
+    """
+    ancillas = set(ancilla_qubits)
+    width = max(reference.num_qubits, implementation.num_qubits)
+    ref = Circuit(width, reference.without_measurements().gates)
+    impl = Circuit(width, implementation.without_measurements().gates)
+    data_qubits = [q for q in range(width) if q not in ancillas]
+    for pattern in range(1 << len(data_qubits)):
+        bits = ["0"] * width
+        for position, q in enumerate(data_qubits):
+            bits[q] = str((pattern >> position) & 1)
+        start = "".join(bits)
+        out_ref = Statevector.from_bitstring(start)
+        out_ref.apply_circuit(ref)
+        out_impl = Statevector.from_bitstring(start)
+        out_impl.apply_circuit(impl)
+        if abs(out_ref.fidelity_with(out_impl) - 1.0) > atol:
+            return False
+    return True
+
+
+def equivalent_under_layouts(
+    source: Circuit,
+    compiled: Circuit,
+    initial_layout: Dict[int, int],
+    final_layout: Dict[int, int],
+    trials: int = 6,
+    rng: RngLike = 0,
+    atol: float = 1e-6,
+) -> bool:
+    """Statistical equivalence for compiled circuits.
+
+    ``initial_layout`` / ``final_layout`` map program qubit -> compiled
+    register index at the start / end of execution.  For random basis-state
+    inputs the compiled output, marginalized onto the final layout, must
+    reproduce the source circuit's output distribution *and* amplitudes.
+
+    Amplitude-level comparison: we require the compiled state restricted to
+    the final layout to equal the source state on every probed input, with
+    all unused compiled qubits returning to |0> (true when the compiled
+    circuit only adds SWAPs over a fixed register).
+    """
+    generator = ensure_rng(rng)
+    n = source.num_qubits
+    if set(initial_layout) != set(range(n)) or set(final_layout) != set(range(n)):
+        raise ValueError("layouts must cover exactly the source qubits")
+    for _ in range(trials):
+        bits = "".join(generator.choice(["0", "1"]) for _ in range(n))
+        expected = Statevector.from_bitstring(bits)
+        expected.apply_circuit(source.without_measurements())
+
+        full_bits = ["0"] * compiled.num_qubits
+        for q in range(n):
+            full_bits[initial_layout[q]] = bits[q]
+        actual = Statevector.from_bitstring("".join(full_bits))
+        actual.apply_circuit(compiled.without_measurements())
+
+        marginal = actual.marginal_probabilities([final_layout[q] for q in range(n)])
+        expected_probs = expected.probabilities()
+        for index, p in enumerate(expected_probs):
+            if float(p) < 1e-12 :
+                continue
+            key = format(index, f"0{n}b")
+            if abs(marginal.get(key, 0.0) - float(p)) > atol:
+                return False
+        # Also ensure no probability mass leaked onto unexpected outcomes.
+        total = sum(marginal.values())
+        if abs(total - 1.0) > atol:
+            return False
+    return True

@@ -1,0 +1,44 @@
+"""Deterministic random number handling.
+
+Every stochastic component in the library (QAOA graph generation, atom-loss
+injection, tolerance trials) accepts either an integer seed, a
+``numpy.random.Generator``, or ``None``.  This module centralizes the
+coercion so all call sites behave identically and experiments are
+reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    ``None`` produces a freshly seeded generator, an ``int`` seeds a new
+    generator, and an existing generator is passed through untouched so
+    callers can share a stream across components.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn(rng: RngLike, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by experiment drivers that run several trials in a loop: each trial
+    gets its own stream so trial *k* is reproducible regardless of how many
+    draws earlier trials made.
+    """
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,51 @@
+"""Plain-text tables and sparkline-style series for experiment output.
+
+The benchmark harness regenerates every figure in the paper as printed
+rows/series (no matplotlib dependency).  These helpers keep that output
+consistent across experiment modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numbers are rendered with a compact general format; everything else via
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    all_rows = [list(map(str, headers))] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(all_rows[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render a named (x, y) series as ``name: (x1, y1) (x2, y2) ...``."""
+    pairs = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.42 -> '42.0%'``."""
+    return f"{100.0 * value:.1f}%"

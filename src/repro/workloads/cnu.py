@@ -1,0 +1,79 @@
+"""Logarithmic-depth generalized Toffoli (CNU).
+
+The paper's highly *parallel* benchmark (§III-B): the C^n U gate — here
+C^n X — decomposed into a balanced binary AND-tree of Toffolis over O(n)
+clean ancilla qubits (Barenco et al. style).  Depth is logarithmic in the
+number of controls and each tree level is a batch of simultaneous
+Toffolis, which is what stresses restriction-zone parallelism.
+
+Layout for ``k`` controls:
+
+    controls  : qubits 0 .. k-1
+    ancillas  : qubits k .. 2k-2   (k - 1 of them, allocated level by level)
+    target    : qubit 2k - 1
+
+Total qubits = ``2k`` (k controls, k-1 ancillas, 1 target).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, ccx, cx
+
+
+def cnu_registers(num_controls: int) -> Tuple[List[int], List[int], int]:
+    """Return ``(controls, ancillas, target)`` qubit indices."""
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, 2 * num_controls - 1))
+    target = 2 * num_controls - 1
+    return controls, ancillas, target
+
+
+def cnu(num_controls: int) -> Circuit:
+    """C^k X via a log-depth Toffoli AND-tree with ``k - 1`` clean ancillas.
+
+    Total register: ``2 * num_controls`` qubits.  Ancillas start and end
+    in |0>.
+    """
+    if num_controls < 2:
+        raise ValueError("cnu needs at least 2 controls (else it is just CX)")
+    controls, ancillas, target = cnu_registers(num_controls)
+    circuit = Circuit(2 * num_controls)
+
+    compute: List[Gate] = []
+    next_ancilla = iter(ancillas)
+    level = list(controls)
+    while len(level) > 1:
+        next_level: List[int] = []
+        # Pair signals; an odd leftover passes through to the next level.
+        for i in range(0, len(level) - 1, 2):
+            anc = next(next_ancilla)
+            compute.append(ccx(level[i], level[i + 1], anc))
+            next_level.append(anc)
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+
+    circuit.extend(compute)
+    circuit.append(cx(level[0], target))
+    circuit.extend(reversed(compute))
+    return circuit
+
+
+def cnu_from_total_qubits(num_qubits: int) -> Circuit:
+    """CNU sized to use at most ``num_qubits`` qubits.
+
+    The paper quotes odd program sizes (e.g. "49 for CNU", "29 qubit CNU");
+    a k-control tree uses exactly 2k qubits, so we take
+    ``k = num_qubits // 2`` and the circuit occupies ``2k <= num_qubits``.
+    """
+    if num_qubits < 4:
+        raise ValueError("cnu needs at least 4 qubits (2 controls)")
+    return cnu(num_qubits // 2)
+
+
+def cnu_expected_toffolis(num_controls: int) -> int:
+    """Tree size check: ``2 * (k - 1)`` Toffolis (compute + uncompute)."""
+    return 2 * (num_controls - 1)

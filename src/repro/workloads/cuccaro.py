@@ -1,0 +1,102 @@
+"""Cuccaro ripple-carry adder (quant-ph/0410184).
+
+The paper's fully *serial* benchmark (§III-B): one MAJ/UMA ripple with no
+intra-layer parallelism, written natively in Toffoli gates, so it exercises
+both the native-multiqubit advantage (Fig 6) and the serial end of the
+restriction-zone analysis (Fig 5).
+
+Register layout for an ``n``-bit addition (``2n + 2`` qubits total):
+
+    index 0            : carry-in ancilla (|0>)
+    index 1 + 2k       : b_k  (k-th bit of addend B; sum lands here)
+    index 2 + 2k       : a_k  (k-th bit of addend A; restored at the end)
+    index 2n + 1       : z    (carry-out)
+
+Bit 0 is the least significant bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import ccx, cx
+
+
+def cuccaro_registers(num_bits: int) -> Tuple[int, List[int], List[int], int]:
+    """Return ``(carry_in, b_qubits, a_qubits, carry_out)`` indices."""
+    carry_in = 0
+    b_qubits = [1 + 2 * k for k in range(num_bits)]
+    a_qubits = [2 + 2 * k for k in range(num_bits)]
+    carry_out = 2 * num_bits + 1
+    return carry_in, b_qubits, a_qubits, carry_out
+
+
+def _maj(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """Majority block: (c, b, a) -> (c^a, b^a, MAJ(a, b, c))."""
+    circuit.append(cx(a, b))
+    circuit.append(cx(a, c))
+    circuit.append(ccx(c, b, a))
+
+
+def _uma(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """Un-majority-and-add block; inverse of MAJ plus the sum write-back."""
+    circuit.append(ccx(c, b, a))
+    circuit.append(cx(a, c))
+    circuit.append(cx(c, b))
+
+
+def cuccaro_adder(num_bits: int) -> Circuit:
+    """In-place ripple-carry adder: ``|a>|b> -> |a>|a + b>`` with carry-out.
+
+    ``num_bits`` is the width of each addend; total qubits ``2*num_bits + 2``.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    carry_in, b_qubits, a_qubits, carry_out = cuccaro_registers(num_bits)
+    circuit = Circuit(2 * num_bits + 2)
+
+    # Ripple the carry up through MAJ blocks.
+    _maj(circuit, carry_in, b_qubits[0], a_qubits[0])
+    for k in range(1, num_bits):
+        _maj(circuit, a_qubits[k - 1], b_qubits[k], a_qubits[k])
+    # Copy the final carry into the carry-out qubit.
+    circuit.append(cx(a_qubits[num_bits - 1], carry_out))
+    # Unwind with UMA blocks, writing sum bits into b.
+    for k in range(num_bits - 1, 0, -1):
+        _uma(circuit, a_qubits[k - 1], b_qubits[k], a_qubits[k])
+    _uma(circuit, carry_in, b_qubits[0], a_qubits[0])
+    return circuit
+
+
+def cuccaro_from_total_qubits(num_qubits: int) -> Circuit:
+    """Adder sized to use at most ``num_qubits`` qubits (>= 4)."""
+    if num_qubits < 4:
+        raise ValueError("cuccaro needs at least 4 qubits (1-bit adder)")
+    num_bits = (num_qubits - 2) // 2
+    return cuccaro_adder(num_bits)
+
+
+def encode_operands(a_value: int, b_value: int, num_bits: int) -> str:
+    """Initial bitstring (big-endian qubit order) encoding the two addends.
+
+    Feed to ``Statevector.from_bitstring`` to test the adder end to end.
+    """
+    if a_value >= 2**num_bits or b_value >= 2**num_bits:
+        raise ValueError("operand does not fit in the register")
+    bits = ["0"] * (2 * num_bits + 2)
+    _, b_qubits, a_qubits, _ = cuccaro_registers(num_bits)
+    for k in range(num_bits):
+        bits[a_qubits[k]] = str((a_value >> k) & 1)
+        bits[b_qubits[k]] = str((b_value >> k) & 1)
+    return "".join(bits)
+
+
+def decode_sum(bits: str, num_bits: int) -> int:
+    """Read ``a + b`` out of a measured bitstring (b register + carry-out)."""
+    _, b_qubits, _, carry_out = cuccaro_registers(num_bits)
+    total = 0
+    for k in range(num_bits):
+        total |= int(bits[b_qubits[k]]) << k
+    total |= int(bits[carry_out]) << num_bits
+    return total

@@ -1,0 +1,133 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gates import ccx, cx, h, measure, rz, swap, x
+
+
+def ghz(n):
+    c = Circuit(n)
+    c.append(h(0))
+    for i in range(1, n):
+        c.append(cx(0, i))
+    return c
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = Circuit(3)
+        assert len(c) == 0
+        assert c.depth() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_out_of_range_operand(self):
+        c = Circuit(2)
+        with pytest.raises(IndexError):
+            c.append(cx(0, 2))
+
+    def test_from_iterable(self):
+        c = Circuit(2, [h(0), cx(0, 1)])
+        assert len(c) == 2
+
+    def test_copy_is_independent(self):
+        c = ghz(3)
+        d = c.copy()
+        d.append(x(0))
+        assert len(c) == 3
+        assert len(d) == 4
+
+    def test_compose(self):
+        a = Circuit(3, [h(0)])
+        b = Circuit(2, [cx(0, 1)])
+        combined = a.compose(b)
+        assert len(combined) == 2
+        assert combined.num_qubits == 3
+
+    def test_compose_larger_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_equality(self):
+        assert ghz(3) == ghz(3)
+        assert ghz(3) != ghz(4)
+
+
+class TestMetrics:
+    def test_depth_serial_chain(self):
+        # BV-style: all CX share the ancilla -> fully serial.
+        c = Circuit(4)
+        for i in range(3):
+            c.append(cx(i, 3))
+        assert c.depth() == 3
+
+    def test_depth_parallel(self):
+        c = Circuit(4, [cx(0, 1), cx(2, 3)])
+        assert c.depth() == 1
+
+    def test_layers_structure(self):
+        c = Circuit(3, [h(0), h(1), cx(0, 1), x(2)])
+        layers = c.layers()
+        assert layers[0] == [0, 1, 3]  # h(0), h(1), x(2) all layer 0
+        assert layers[1] == [2]
+
+    def test_layers_consistent_with_depth(self):
+        c = ghz(6)
+        assert len(c.layers()) == c.depth()
+
+    def test_counts_by_arity(self):
+        c = Circuit(3, [h(0), cx(0, 1), ccx(0, 1, 2), measure(2)])
+        counts = c.counts_by_arity()
+        assert counts == {1: 1, 2: 1, 3: 1}  # measurement excluded
+
+    def test_gate_counts_by_name(self):
+        c = ghz(4)
+        assert c.gate_counts() == {"h": 1, "cx": 3}
+
+    def test_multiqubit_gate_count(self):
+        c = Circuit(3, [h(0), cx(0, 1), ccx(0, 1, 2)])
+        assert c.multiqubit_gate_count() == 2
+
+    def test_used_qubits(self):
+        c = Circuit(5, [cx(1, 3)])
+        assert c.used_qubits() == {1, 3}
+
+    def test_parallelism(self):
+        serial = Circuit(4, [cx(i, 3) for i in range(3)])
+        parallel = Circuit(4, [cx(0, 1), cx(2, 3)])
+        assert serial.parallelism() == pytest.approx(1.0)
+        assert parallel.parallelism() == pytest.approx(2.0)
+
+    def test_parallelism_empty(self):
+        assert Circuit(2).parallelism() == 0.0
+
+
+class TestTransforms:
+    def test_remapped(self):
+        c = Circuit(3, [cx(0, 1)]).remapped({0: 2, 1: 0, 2: 1})
+        assert c[0].qubits == (2, 0)
+
+    def test_remapped_to_larger_register(self):
+        c = Circuit(2, [cx(0, 1)]).remapped({0: 5, 1: 6}, num_qubits=8)
+        assert c.num_qubits == 8
+
+    def test_without_measurements(self):
+        c = Circuit(2, [h(0), measure(0), measure(1)])
+        assert len(c.without_measurements()) == 1
+
+    def test_with_final_measurements_all(self):
+        c = ghz(3).with_final_measurements()
+        assert sum(1 for g in c if g.is_measurement) == 3
+
+    def test_with_final_measurements_subset(self):
+        c = ghz(3).with_final_measurements([1])
+        measured = [g.qubits[0] for g in c if g.is_measurement]
+        assert measured == [1]
+
+    def test_swap_and_rz_roundtrip_in_container(self):
+        c = Circuit(2, [swap(0, 1), rz(0.25, 0)])
+        assert c[0].is_swap
+        assert c[1].params == (0.25,)

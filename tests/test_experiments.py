@@ -1,0 +1,242 @@
+"""Smoke + shape tests for every figure driver (reduced parameters).
+
+Each test regenerates a miniature version of the corresponding paper
+figure and asserts the qualitative claim the figure makes — who wins, in
+which direction the curve bends — rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3_gate_count,
+    fig4_depth,
+    fig5_serialization,
+    fig6_multiqubit,
+    fig7_success,
+    fig8_program_size,
+    fig10_loss_tolerance,
+    fig11_shot_success,
+    fig12_overhead,
+    fig13_sensitivity,
+    fig14_timeline,
+    validation,
+)
+
+SMALL_MIDS = (2.0, 3.0)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3_gate_count.run(
+        benchmarks=("bv", "cuccaro"), mids=SMALL_MIDS,
+        max_size=30, size_step=10, bv_line_sizes=(15, 27),
+    )
+
+
+class TestFig3:
+    def test_savings_positive_and_growing(self, fig3_result):
+        for benchmark in ("bv", "cuccaro"):
+            s2 = fig3_result.saving(benchmark, 2.0)
+            s3 = fig3_result.saving(benchmark, 3.0)
+            assert s2 >= 0.0
+            assert s3 >= s2 - 0.02  # growth up to small heuristic noise
+
+    def test_bv_series_decreasing_in_mid(self, fig3_result):
+        for size, series in fig3_result.bv_series.items():
+            counts = [c for _, c in series]
+            assert counts[0] >= counts[-1]
+
+    def test_format_renders(self, fig3_result):
+        text = fig3_result.format()
+        assert "Gate Count Savings" in text
+        assert "bv" in text
+
+
+class TestFig4:
+    def test_depth_savings(self):
+        result = fig4_depth.run(
+            benchmarks=("bv",), mids=SMALL_MIDS,
+            max_size=30, size_step=10, qft_line_sizes=(10,),
+        )
+        assert result.saving("bv", 3.0) > 0.0
+        assert "Depth Savings" in result.format()
+
+
+class TestFig5:
+    def test_parallel_benchmark_serializes_most(self):
+        result = fig5_serialization.run(
+            benchmarks=("bv", "qft-adder"), mids=(3.0,),
+            max_size=20, size_step=10, qaoa_line_sizes=(12,),
+        )
+        # Zones cost the parallel QFT-adder more depth than serial BV.
+        assert (result.increase("qft-adder", 3.0)
+                >= result.increase("bv", 3.0))
+        assert result.increase("bv", 3.0) >= 0.0
+
+    def test_zoned_depth_at_least_ideal(self):
+        result = fig5_serialization.run(
+            benchmarks=("qaoa",), mids=(3.0,),
+            max_size=16, size_step=8, qaoa_line_sizes=(12,),
+        )
+        for series in result.qaoa_series.values():
+            for _, zoned, ideal in series:
+                assert zoned >= ideal
+
+
+class TestFig6:
+    def test_native_wins_everywhere_above_mid1(self):
+        result = fig6_multiqubit.run(sizes=(16,), mids=(2.0, 3.0))
+        for point in result.points:
+            if point.mid >= 2.0:
+                assert point.native_gates < point.decomposed_gates
+                assert point.native_depth <= point.decomposed_depth
+
+    def test_mid1_curves_coincide(self):
+        result = fig6_multiqubit.run(sizes=(16,), mids=(2.0,))
+        for point in result.points:
+            if point.mid == 1.0:
+                assert point.native_gates == point.decomposed_gates
+
+    def test_format(self):
+        result = fig6_multiqubit.run(sizes=(12,), mids=(2.0,))
+        assert "Native 3-Qubit" in result.format()
+
+
+class TestFig7:
+    def test_na_diverges_at_higher_error(self):
+        result = fig7_success.run(
+            benchmarks=("bv", "cnu"), program_size=20, error_points=9,
+        )
+        for cmp_result in result.comparisons.values():
+            na_div, sc_div = cmp_result.divergence_error()
+            assert na_div >= sc_div
+
+    def test_curves_monotone(self):
+        result = fig7_success.run(benchmarks=("bv",), program_size=16,
+                                  error_points=7)
+        curve = result.comparisons["bv"].na_curve
+        errs = [program_err for _, program_err in curve]
+        assert errs == sorted(errs)
+        assert "Success Rate" in result.format()
+
+
+class TestFig8:
+    def test_na_runs_larger_programs(self):
+        result = fig8_program_size.run(
+            benchmarks=("bv",), max_size=30, size_step=5, error_points=9,
+        )
+        assert result.advantage_points("bv") >= 1
+        # And SC never runs a larger program than NA at any error.
+        na_curve, sc_curve = result.curves["bv"]
+        for (_, na_size), (_, sc_size) in zip(na_curve, sc_curve):
+            assert na_size >= sc_size
+
+    def test_size_curves_monotone_decreasing(self):
+        result = fig8_program_size.run(
+            benchmarks=("cuccaro",), max_size=30, size_step=5,
+            error_points=7,
+        )
+        na_curve, _ = result.curves["cuccaro"]
+        sizes = [s for _, s in na_curve]
+        assert sizes == sorted(sizes, reverse=True)
+        assert "Largest Runnable" in result.format()
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_loss_tolerance.run(
+            benchmarks=("cnu",), mids=(2.0, 4.0), program_size=20,
+            trials=2, rng=0,
+        )
+
+    def test_recompile_dominates(self, result):
+        for mid in (2.0, 4.0):
+            recompile = result.fraction("cnu", "recompile", mid)
+            remap = result.fraction("cnu", "virtual remapping", mid)
+            assert recompile >= remap
+
+    def test_tolerance_grows_with_mid(self, result):
+        assert (result.fraction("cnu", "recompile", 4.0)
+                >= result.fraction("cnu", "recompile", 2.0))
+
+    def test_compile_small_absent_at_mid2(self, result):
+        assert ("cnu", "compile small", 2.0) not in result.cells
+        assert ("cnu", "compile small", 4.0) in result.cells
+        assert "Max Atom Loss" in result.format()
+
+
+class TestFig11:
+    def test_success_never_increases_for_reroute(self):
+        # Single trial: pointwise averages of ragged traces may wobble when
+        # a short (low) trial ends, but each individual trace is monotone.
+        result = fig11_shot_success.run(
+            benchmarks=("cnu",), strategies=("reroute",), mids=(2.0,),
+            max_holes=8, program_size=16, trials=1, rng=0,
+        )
+        trace = result.trace("cnu", "reroute", 2.0)
+        for earlier, later in zip(trace, trace[1:]):
+            assert later <= earlier + 1e-9
+        assert "Shot Success" in result.format()
+
+    def test_base_success_near_target(self):
+        result = fig11_shot_success.run(
+            benchmarks=("cnu",), strategies=("recompile",), mids=(3.0,),
+            max_holes=2, program_size=16, trials=1, rng=0,
+        )
+        trace = result.trace("cnu", "recompile", 3.0)
+        assert trace[0] == pytest.approx(0.6, abs=0.05)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_overhead.run(
+            strategies=("virtual remapping", "always reload",
+                        "c. small+reroute"),
+            mids=(3.0,), shots=120, program_size=20, rng=0,
+        )
+
+    def test_always_reload_is_worst(self, result):
+        reload_overhead = result.overhead("always reload", 3.0)
+        for name in ("virtual remapping", "c. small+reroute"):
+            assert result.overhead(name, 3.0) <= reload_overhead
+
+    def test_reload_dominates_breakdown(self, result):
+        run_result = result.runs[("always reload", 3.0)]
+        kinds = run_result.time_by_kind()
+        assert kinds["reload"] > kinds["fluorescence"]
+        assert "Overhead Time" in result.format()
+
+
+class TestFig13:
+    def test_improvement_extends_shot_runs(self):
+        result = fig13_sensitivity.run(
+            mids=(4.0,), factors=(1.0, 30.0), shots_per_run=150,
+            program_size=20, rng=0,
+        )
+        series = result.series(4.0)
+        assert series[-1][1] >= series[0][1]
+        assert "Successful Shots" in result.format()
+
+
+class TestFig14:
+    def test_twenty_successful_shots(self):
+        result = fig14_timeline.run(program_size=16, target_shots=10)
+        assert result.run_result.shots_successful == 10
+        text = result.format()
+        assert "Timeline" in text
+        assert "reload" in text
+
+    def test_reload_and_fluorescence_dominate(self):
+        result = fig14_timeline.run(program_size=16, target_shots=10)
+        kinds = result.run_result.time_by_kind()
+        overhead = kinds["reload"] + kinds["fluorescence"]
+        assert overhead > 0.5 * result.run_result.total_time
+
+
+class TestValidation:
+    def test_all_cases_equivalent(self):
+        result = validation.run()
+        assert result.all_equivalent
+        assert "validation" in result.format().lower()

@@ -1,0 +1,110 @@
+"""Unit tests for the §V noise/success model."""
+
+import math
+
+import pytest
+
+from repro.hardware.noise import NoiseModel, success_ratio_to_random
+
+
+class TestConstruction:
+    def test_bad_fidelity(self):
+        with pytest.raises(ValueError):
+            NoiseModel("bad", {2: 1.5}, 1.0, 1.0, {2: 1e-6})
+
+    def test_bad_coherence(self):
+        with pytest.raises(ValueError):
+            NoiseModel("bad", {2: 0.9}, 0.0, 1.0, {2: 1e-6})
+
+    def test_named_models(self):
+        na = NoiseModel.neutral_atom()
+        sc = NoiseModel.superconducting_rome()
+        assert na.fidelity(2) == pytest.approx(0.965)
+        assert sc.two_qubit_error == pytest.approx(1.2e-2)
+        assert 3 in na.gate_fidelity
+        assert 3 not in sc.gate_fidelity
+
+    def test_arity_fallback(self):
+        na = NoiseModel.neutral_atom()
+        # Arity 4 falls back to the widest configured (3).
+        assert na.fidelity(4) == na.fidelity(3)
+        assert na.duration_of(4) == na.duration_of(3)
+
+
+class TestSuccessModel:
+    def test_gate_success_product(self):
+        na = NoiseModel.neutral_atom()
+        p = na.gate_success({2: 10})
+        assert p == pytest.approx(0.965**10)
+
+    def test_mixed_arity_product(self):
+        na = NoiseModel.neutral_atom()
+        p = na.gate_success({1: 3, 2: 2, 3: 1})
+        assert p == pytest.approx(0.999**3 * 0.965**2 * 0.92)
+
+    def test_zero_fidelity_short_circuit(self):
+        model = NoiseModel("z", {2: 0.0}, 1.0, 1.0, {2: 1e-6})
+        assert model.gate_success({2: 1}) == 0.0
+
+    def test_coherence_exponential(self):
+        na = NoiseModel.neutral_atom()
+        assert na.coherence_success(0.0) == 1.0
+        expected = math.exp(-1.0 / 4.0 - 1.0 / 1.0)
+        assert na.coherence_success(1.0) == pytest.approx(expected)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel.neutral_atom().coherence_success(-1.0)
+
+    def test_program_success_composition(self):
+        na = NoiseModel.neutral_atom()
+        counts = {2: 5}
+        duration = 1e-3
+        assert na.program_success(counts, duration) == pytest.approx(
+            na.gate_success(counts) * na.coherence_success(duration)
+        )
+
+    def test_empty_program_is_certain(self):
+        assert NoiseModel.neutral_atom().program_success({}, 0.0) == 1.0
+
+
+class TestErrorRescaling:
+    def test_two_qubit_error_set_exactly(self):
+        na = NoiseModel.neutral_atom(two_qubit_error=1e-3)
+        assert na.two_qubit_error == pytest.approx(1e-3)
+
+    def test_other_arities_scale_proportionally(self):
+        base = NoiseModel.neutral_atom()
+        scaled = base.with_two_qubit_error(base.two_qubit_error / 10)
+        # 1q and 3q errors scale by the same factor of 10.
+        assert 1 - scaled.fidelity(1) == pytest.approx((1 - base.fidelity(1)) / 10)
+        assert 1 - scaled.fidelity(3) == pytest.approx((1 - base.fidelity(3)) / 10)
+
+    def test_coherence_scales_inversely(self):
+        base = NoiseModel.superconducting_rome()
+        scaled = base.with_two_qubit_error(base.two_qubit_error / 100)
+        assert scaled.t1_ground == pytest.approx(base.t1_ground * 100)
+        assert scaled.t2_ground == pytest.approx(base.t2_ground * 100)
+
+    def test_error_capped_at_one(self):
+        base = NoiseModel.neutral_atom()
+        worse = base.with_two_qubit_error(0.5)
+        assert 0.0 <= worse.fidelity(3) <= 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            NoiseModel.neutral_atom().with_two_qubit_error(1.5)
+
+    def test_monotone_in_error(self):
+        counts = {2: 50}
+        successes = [
+            NoiseModel.neutral_atom(e).program_success(counts, 1e-4)
+            for e in (1e-4, 1e-3, 1e-2, 1e-1)
+        ]
+        assert successes == sorted(successes, reverse=True)
+
+
+class TestRandomBaseline:
+    def test_ratio(self):
+        assert success_ratio_to_random(0.5, 1) == pytest.approx(1.0)
+        assert success_ratio_to_random(1.0, 10) == pytest.approx(1024.0)

@@ -1,0 +1,76 @@
+"""Tests for the Monte-Carlo noisy sampler and its agreement with §V."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gates import cx, h, x
+from repro.hardware import NoiseModel
+from repro.sim import sample_noisy_shots
+from repro.workloads import bernstein_vazirani
+
+
+class TestNoiselessLimit:
+    def test_perfect_gates_always_succeed(self):
+        noise = NoiseModel("perfect", {1: 1.0, 2: 1.0}, 1.0, 1.0, {2: 1e-6})
+        result = sample_noisy_shots(bernstein_vazirani(5), noise, shots=50)
+        assert result.successes == 50
+        assert result.analytic_estimate == pytest.approx(1.0)
+
+    def test_broken_gates_rarely_succeed(self):
+        noise = NoiseModel("broken", {1: 0.99, 2: 0.0}, 1.0, 1.0, {2: 1e-6})
+        result = sample_noisy_shots(bernstein_vazirani(5), noise, shots=50,
+                                    rng=1)
+        assert result.analytic_estimate == 0.0
+        # Random Paulis can occasionally cancel; just require heavy failure.
+        assert result.successes < 25
+
+
+class TestAgreementWithAnalytic:
+    @pytest.mark.parametrize("error", [0.005, 0.02])
+    def test_empirical_close_to_analytic(self, error):
+        noise = NoiseModel.neutral_atom(two_qubit_error=error)
+        result = sample_noisy_shots(
+            bernstein_vazirani(6), noise, shots=600, rng=0
+        )
+        # The analytic product is a (slightly pessimistic) estimate: random
+        # Paulis sometimes restore the state.  Require agreement within a
+        # generous statistical band.
+        assert result.empirical_rate == pytest.approx(
+            result.analytic_estimate, abs=0.08
+        )
+
+    def test_analytic_is_lower_bound_on_average(self):
+        noise = NoiseModel.neutral_atom(two_qubit_error=0.03)
+        result = sample_noisy_shots(
+            bernstein_vazirani(6), noise, shots=800, rng=3
+        )
+        assert result.empirical_rate >= result.analytic_estimate - 0.05
+
+
+class TestMechanics:
+    def test_deterministic_by_seed(self):
+        noise = NoiseModel.neutral_atom(two_qubit_error=0.05)
+        circuit = Circuit(3, [h(0), cx(0, 1), cx(1, 2)])
+        a = sample_noisy_shots(circuit, noise, shots=100, rng=9)
+        b = sample_noisy_shots(circuit, noise, shots=100, rng=9)
+        assert a.successes == b.successes
+
+    def test_initial_bits_respected(self):
+        noise = NoiseModel("perfect", {1: 1.0, 2: 1.0}, 1.0, 1.0, {2: 1e-6})
+        circuit = Circuit(2, [cx(0, 1)])
+        result = sample_noisy_shots(circuit, noise, shots=10,
+                                    initial_bits="10")
+        assert result.successes == 10
+
+    def test_include_coherence_lowers_estimate(self):
+        noise = NoiseModel.neutral_atom(two_qubit_error=0.01)
+        circuit = bernstein_vazirani(5)
+        without = sample_noisy_shots(circuit, noise, shots=10, rng=0)
+        with_coh = sample_noisy_shots(circuit, noise, shots=10, rng=0,
+                                      include_coherence=True)
+        assert with_coh.analytic_estimate <= without.analytic_estimate
+
+    def test_empirical_rate_empty(self):
+        noise = NoiseModel.neutral_atom()
+        result = sample_noisy_shots(Circuit(2, [x(0)]), noise, shots=0)
+        assert result.empirical_rate == 0.0

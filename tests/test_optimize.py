@@ -1,0 +1,119 @@
+"""Tests for the peephole circuit optimizer."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, optimize_circuit
+from repro.circuits.gates import ccx, cx, h, rz, rzz, s, swap, x
+from repro.circuits.optimize import (
+    cancel_self_inverses,
+    merge_rotations,
+    optimization_report,
+)
+from repro.sim import circuits_equivalent
+
+
+class TestSelfInverseCancellation:
+    def test_adjacent_pair_cancels(self):
+        c = Circuit(1, [x(0), x(0)])
+        assert len(cancel_self_inverses(c)) == 0
+
+    def test_cx_pair_cancels(self):
+        c = Circuit(2, [cx(0, 1), cx(0, 1)])
+        assert len(cancel_self_inverses(c)) == 0
+
+    def test_different_operands_survive(self):
+        c = Circuit(2, [cx(0, 1), cx(1, 0)])
+        assert len(cancel_self_inverses(c)) == 2
+
+    def test_blocked_by_intervening_gate(self):
+        c = Circuit(2, [cx(0, 1), h(0), cx(0, 1)])
+        assert len(cancel_self_inverses(c)) == 3
+
+    def test_skips_over_disjoint_gates(self):
+        c = Circuit(3, [cx(0, 1), x(2), cx(0, 1)])
+        out = cancel_self_inverses(c)
+        assert len(out) == 1
+        assert out[0].name == "x"
+
+    def test_cascading_cancellation(self):
+        # h x x h -> h h -> empty.
+        c = Circuit(1, [h(0), x(0), x(0), h(0)])
+        assert len(optimize_circuit(c)) == 0
+
+    def test_non_self_inverse_untouched(self):
+        c = Circuit(1, [s(0), s(0)])
+        assert len(cancel_self_inverses(c)) == 2
+
+    def test_toffoli_pair_cancels(self):
+        c = Circuit(3, [ccx(0, 1, 2), ccx(0, 1, 2)])
+        assert len(cancel_self_inverses(c)) == 0
+
+    def test_swap_pair_cancels(self):
+        c = Circuit(2, [swap(0, 1), swap(0, 1)])
+        assert len(cancel_self_inverses(c)) == 0
+
+
+class TestRotationMerging:
+    def test_rz_angles_add(self):
+        c = Circuit(1, [rz(0.3, 0), rz(0.4, 0)])
+        out = merge_rotations(c)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_full_period_cancels(self):
+        c = Circuit(1, [rz(2 * math.pi, 0), rz(2 * math.pi, 0)])
+        assert len(merge_rotations(c)) == 0
+
+    def test_opposite_angles_cancel(self):
+        c = Circuit(1, [rz(0.5, 0), rz(-0.5, 0)])
+        assert len(merge_rotations(c)) == 0
+
+    def test_rzz_merges(self):
+        c = Circuit(2, [rzz(0.2, 0, 1), rzz(0.3, 0, 1)])
+        out = merge_rotations(c)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.5)
+
+    def test_blocked_by_shared_qubit(self):
+        c = Circuit(2, [rz(0.2, 0), cx(0, 1), rz(0.3, 0)])
+        assert len(merge_rotations(c)) == 3
+
+    def test_disjoint_gates_skipped(self):
+        c = Circuit(2, [rz(0.2, 0), x(1), rz(0.3, 0)])
+        out = merge_rotations(c)
+        assert len(out) == 2
+
+
+class TestOptimizeCircuit:
+    @pytest.mark.parametrize("gates", [
+        [h(0), cx(0, 1), cx(0, 1), h(0), rz(0.3, 1), rz(0.3, 1)],
+        [x(0), h(1), x(0), cx(1, 2), rz(1.0, 2), rz(-1.0, 2), cx(1, 2)],
+        [ccx(0, 1, 2), x(0), x(0), ccx(0, 1, 2)],
+    ])
+    def test_semantics_preserved(self, gates):
+        c = Circuit(3, gates)
+        optimized = optimize_circuit(c)
+        assert circuits_equivalent(c, optimized)
+        assert len(optimized) <= len(c)
+
+    def test_report(self):
+        before = Circuit(1, [x(0), x(0), rz(0.1, 0)])
+        after = optimize_circuit(before)
+        report = optimization_report(before, after)
+        assert report["gates_removed"] == 2
+        assert report["gates_after"] == 1
+
+    def test_idempotent(self):
+        c = Circuit(2, [h(0), cx(0, 1), rz(0.5, 1)])
+        once = optimize_circuit(c)
+        twice = optimize_circuit(once)
+        assert once == twice
+
+    def test_uncomputation_pattern_shrinks(self):
+        # compute-act-uncompute where the action commutes trivially:
+        # the compute/uncompute Toffolis around an untouched qubit cancel.
+        c = Circuit(4, [ccx(0, 1, 2), x(3), ccx(0, 1, 2)])
+        optimized = optimize_circuit(c)
+        assert len(optimized) == 1

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Random circuits compiled to random device configurations must always
+yield schedules that (a) respect the interaction distance, (b) keep zones
+disjoint within a timestep, (c) preserve semantics up to layout, and the
+supporting data structures (zones, virtual maps, weights) must hold their
+own invariants under arbitrary inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, CircuitDag
+from repro.circuits.gates import Gate, ccx, cx, h, rz, x
+from repro.core import CompilerConfig, check_compiled, compile_circuit
+from repro.core.weights import initial_weights
+from repro.hardware import Grid, Topology
+from repro.hardware.restriction import RestrictionModel, no_restriction
+from repro.loss.virtual_map import RemapFailed, VirtualMap
+from repro.utils.geometry import max_pairwise_distance
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- random circuit generation --------------------------------------------------------
+
+@st.composite
+def small_circuits(draw, max_qubits=6, max_gates=12):
+    num_qubits = draw(st.integers(3, max_qubits))
+    num_gates = draw(st.integers(1, max_gates))
+    gates = []
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        qubits = draw(
+            st.lists(
+                st.integers(0, num_qubits - 1),
+                min_size=3, max_size=3, unique=True,
+            )
+        )
+        if kind == 0:
+            gates.append(h(qubits[0]))
+        elif kind == 1:
+            gates.append(rz(draw(st.floats(0.1, 3.0)), qubits[0]))
+        elif kind == 2:
+            gates.append(cx(qubits[0], qubits[1]))
+        else:
+            gates.append(ccx(*qubits))
+    return Circuit(num_qubits, gates)
+
+
+@given(circuit=small_circuits(), mid=st.sampled_from([1.0, 2.0, 3.0]))
+@settings(max_examples=40, **SETTINGS)
+def test_compiled_schedule_respects_distance_and_zones(circuit, mid):
+    topo = Topology.square(3, mid)
+    config = CompilerConfig(max_interaction_distance=mid)
+    program = compile_circuit(circuit, topo, config)
+    grid = topo.grid
+    model = program.config.restriction_model()
+    for timestep in program.schedule:
+        taken = set()
+        for op in timestep:
+            # (a) all operand pairs within range
+            assert max_pairwise_distance(
+                [grid.position(s) for s in op.sites]
+            ) <= mid + 1e-9
+            # (b) no shared sites within a timestep
+            assert not (set(op.sites) & taken)
+            taken.update(op.sites)
+        # (c) zones pairwise disjoint
+        for i in range(len(timestep)):
+            for j in range(i + 1, len(timestep)):
+                a = [grid.position(s) for s in timestep[i].sites]
+                b = [grid.position(s) for s in timestep[j].sites]
+                assert not model.conflict(a, b)
+
+
+@given(circuit=small_circuits(max_qubits=5, max_gates=8),
+       mid=st.sampled_from([1.0, 2.0]))
+@settings(max_examples=20, **SETTINGS)
+def test_compiled_program_semantically_equivalent(circuit, mid):
+    topo = Topology.square(3, mid)
+    config = CompilerConfig(max_interaction_distance=mid)
+    program = compile_circuit(circuit, topo, config)
+    assert check_compiled(program, trials=3)
+
+
+@given(circuit=small_circuits())
+@settings(max_examples=30, **SETTINGS)
+def test_layers_partition_gates(circuit):
+    layers = circuit.layers()
+    flattened = sorted(i for layer in layers for i in layer)
+    assert flattened == list(range(len(circuit)))
+    assert len(layers) == circuit.depth()
+
+
+@given(circuit=small_circuits())
+@settings(max_examples=30, **SETTINGS)
+def test_weights_symmetric_and_positive(circuit):
+    weights = initial_weights(CircuitDag(circuit))
+    for u, v in weights.pairs():
+        assert weights.weight(u, v) == weights.weight(v, u) > 0
+
+
+# -- zone geometry ---------------------------------------------------------------------
+
+coords = st.tuples(st.integers(0, 8), st.integers(0, 8))
+
+
+@given(a=st.lists(coords, min_size=1, max_size=3, unique=True),
+       b=st.lists(coords, min_size=1, max_size=3, unique=True))
+@settings(max_examples=80, **SETTINGS)
+def test_zone_conflict_symmetric(a, b):
+    model = RestrictionModel()
+    assert model.conflict(a, b) == model.conflict(b, a)
+
+
+@given(a=st.lists(coords, min_size=2, max_size=3, unique=True))
+@settings(max_examples=50, **SETTINGS)
+def test_zone_conflicts_with_itself(a):
+    model = RestrictionModel()
+    assert model.conflict(a, a)
+
+
+@given(a=st.lists(coords, min_size=1, max_size=3, unique=True),
+       b=st.lists(coords, min_size=1, max_size=3, unique=True))
+@settings(max_examples=50, **SETTINGS)
+def test_disabled_zones_only_share_conflicts(a, b):
+    model = RestrictionModel(no_restriction)
+    expected = bool(set(a) & set(b))
+    assert model.conflict(a, b) == expected
+
+
+@given(a=st.lists(coords, min_size=2, max_size=3, unique=True),
+       b=st.lists(coords, min_size=2, max_size=3, unique=True),
+       scale=st.floats(1.0, 3.0))
+@settings(max_examples=50, **SETTINGS)
+def test_zone_scale_monotone(a, b, scale):
+    # Anything conflicting at scale 1 still conflicts at a larger scale.
+    base = RestrictionModel(zone_scale=1.0)
+    bigger = RestrictionModel(zone_scale=scale)
+    if base.conflict(a, b):
+        assert bigger.conflict(a, b)
+
+
+# -- virtual map ------------------------------------------------------------------------
+
+@given(seed=st.integers(0, 1000), num_roles=st.integers(1, 10))
+@settings(max_examples=40, **SETTINGS)
+def test_virtual_map_bijective_under_random_losses(seed, num_roles):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    topo = Topology.square(5, 2.0)
+    roles = sorted(
+        int(r) for r in rng.choice(25, size=num_roles, replace=False)
+    )
+    vmap = VirtualMap(topo, roles)
+    for _ in range(8):
+        active = topo.active_sites()
+        if not active:
+            break
+        site = int(active[int(rng.integers(len(active)))])
+        topo.remove_atom(site)
+        try:
+            vmap.shift_for_loss(site)
+        except RemapFailed:
+            break
+        sites_now = list(vmap.role_to_site.values())
+        assert len(sites_now) == len(set(sites_now)) == len(roles)
+        assert all(topo.is_active(s) for s in sites_now)
+        assert set(vmap.site_to_role) == set(sites_now)
+
+
+# -- noise model -------------------------------------------------------------------------
+
+@given(error=st.floats(1e-6, 0.2),
+       n2=st.integers(0, 200), n1=st.integers(0, 200))
+@settings(max_examples=60, **SETTINGS)
+def test_success_rate_in_unit_interval(error, n2, n1):
+    from repro.hardware import NoiseModel
+
+    noise = NoiseModel.neutral_atom(two_qubit_error=error)
+    p = noise.program_success({1: n1, 2: n2}, 1e-4)
+    assert 0.0 <= p <= 1.0
+
+
+@given(n2=st.integers(1, 100))
+@settings(max_examples=30, **SETTINGS)
+def test_more_gates_never_help(n2):
+    from repro.hardware import NoiseModel
+
+    noise = NoiseModel.neutral_atom()
+    assert noise.gate_success({2: n2 + 1}) < noise.gate_success({2: n2})

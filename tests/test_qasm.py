@@ -1,0 +1,70 @@
+"""Round-trip tests for the OpenQASM interchange."""
+
+import pytest
+
+from repro.circuits import Circuit, from_qasm, to_qasm
+from repro.circuits.gates import ccx, cphase, cx, h, measure, rz, swap
+from repro.workloads import bernstein_vazirani, cuccaro_adder, qft_adder
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = to_qasm(Circuit(3, [h(0)]))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_parameterized(self):
+        text = to_qasm(Circuit(1, [rz(0.5, 0)]))
+        assert "rz(0.5)" in text
+
+    def test_cphase_renamed(self):
+        text = to_qasm(Circuit(2, [cphase(0.25, 0, 1)]))
+        assert "cp(0.25) q[0],q[1];" in text
+
+    def test_measure_has_creg(self):
+        text = to_qasm(Circuit(2, [measure(1)]))
+        assert "creg c[2];" in text
+        assert "measure q[1] -> c[1];" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("circuit", [
+        Circuit(3, [h(0), cx(0, 1), ccx(0, 1, 2), swap(1, 2)]),
+        Circuit(2, [rz(0.125, 0), cphase(1.5, 0, 1)]),
+        bernstein_vazirani(6),
+        cuccaro_adder(2),
+        qft_adder(2),
+    ])
+    def test_roundtrip_identity(self, circuit):
+        assert from_qasm(to_qasm(circuit)) == circuit
+
+    def test_roundtrip_with_measurement(self):
+        circuit = Circuit(2, [h(0), measure(0), measure(1)])
+        assert from_qasm(to_qasm(circuit)) == circuit
+
+
+class TestImport:
+    def test_comments_and_blankline_skipped(self):
+        text = """OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[2];
+
+cx q[0],q[1];  // trailing comment
+"""
+        circuit = from_qasm(text)
+        assert len(circuit) == 1
+        assert circuit[0].name == "cx"
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("qreg q[1];\n???;")
+
+    def test_alias_names_normalized(self):
+        circuit = from_qasm("qreg q[2];\ncu1(0.5) q[0],q[1];")
+        assert circuit[0].name == "cphase"

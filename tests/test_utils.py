@@ -1,0 +1,89 @@
+"""Tests for shared utilities: rng, geometry, text plots."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.geometry import (
+    bounding_box,
+    chebyshev,
+    disks_overlap,
+    euclidean,
+    max_pairwise_distance,
+    point_in_disk,
+)
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.textplot import format_series, format_table, percent
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeds(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn(0, 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+        again = [c.random() for c in spawn(0, 3)]
+        assert values == again
+
+
+class TestGeometry:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_chebyshev(self):
+        assert chebyshev((0, 0), (2, 5)) == 5
+
+    def test_max_pairwise(self):
+        pts = [(0, 0), (0, 1), (0, 5)]
+        assert max_pairwise_distance(pts) == pytest.approx(5.0)
+        assert max_pairwise_distance([(1, 1)]) == 0.0
+
+    def test_point_in_disk_open(self):
+        assert point_in_disk((0, 1), (0, 0), 1.5)
+        assert not point_in_disk((0, 1.5), (0, 0), 1.5)  # boundary excluded
+
+    def test_disks_overlap_open(self):
+        assert disks_overlap((0, 0), 1.0, (0, 1.5), 1.0)
+        assert not disks_overlap((0, 0), 1.0, (0, 2.0), 1.0)  # tangent
+
+    def test_bounding_box(self):
+        assert bounding_box([(1, 2), (3, 0)]) == (1, 0, 3, 2)
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestTextPlot:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_float_formats(self):
+        text = format_table(["x"], [(1.23456789e-7,), (0.0,)])
+        assert "e-07" in text
+        assert "0" in text
+
+    def test_series(self):
+        text = format_series("name", [1, 2], [3.0, 4.0])
+        assert text.startswith("name:")
+        assert "(1, 3)" in text
+
+    def test_percent(self):
+        assert percent(0.423) == "42.3%"
