@@ -5,20 +5,34 @@ Usage::
     python -m repro list
     python -m repro run fig3
     python -m repro run fig12 --quick
-    python -m repro run all --quick
+    python -m repro run all --quick --jobs 4 --cache-dir /tmp/repro-cache
 
 ``--quick`` passes reduced parameters (the same scale the pytest
 benchmarks use is hit via ``pytest benchmarks/ --benchmark-only``;
 ``--quick`` here is even smaller, for a fast smoke pass).
+
+``--jobs N`` fans sweep grids out over N worker processes; any N
+produces identical figure text because every task seeds its RNG from its
+canonical key.  ``--cache-dir`` points the persistent compile cache at a
+directory shared by workers and future runs; figure output goes to
+stdout and timing diagnostics to stderr, so redirected output is
+byte-comparable between runs sharing a warm cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.exec import cache as exec_cache
+from repro.exec import engine as exec_engine
 from repro.experiments import ALL_EXPERIMENTS
+
+#: Default on-disk compile cache for CLI runs (override with --cache-dir,
+#: the REPRO_CACHE_DIR environment variable, or disable with --no-cache).
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro", "compile")
 
 #: Reduced keyword arguments per experiment for --quick runs.
 _QUICK_ARGS = {
@@ -57,8 +71,12 @@ def _run_one(name: str, quick: bool) -> None:
     result = module.run(**kwargs)
     elapsed = time.perf_counter() - start
     print(result.format())
-    print(f"\n[{name} regenerated in {elapsed:.1f}s"
-          f"{' (quick parameters)' if quick else ''}]\n")
+    print()
+    # Diagnostics go to stderr: stdout carries only the (deterministic)
+    # figure text, so two runs can be compared byte-for-byte.
+    print(f"[{name} regenerated in {elapsed:.1f}s"
+          f"{' (quick parameters)' if quick else ''}]",
+          file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -77,6 +95,21 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="reduced parameters for a fast smoke run",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep grids (default 1; output is "
+             "identical at any N whenever the on-disk cache is enabled "
+             "— see README for the --no-cache caveat)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent compile-cache directory (default: "
+             "$REPRO_CACHE_DIR, else ~/.cache/repro/compile)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk compile cache (memory-only)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -85,16 +118,43 @@ def main(argv=None) -> int:
             print(f"{name:22s} {doc}")
         return 0
 
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    exec_engine.set_jobs(args.jobs)
+    if args.no_cache:
+        exec_cache.set_cache_dir(None)
+    else:
+        cache_dir = (args.cache_dir
+                     or os.environ.get(exec_cache.CACHE_DIR_ENV)
+                     or os.path.expanduser(DEFAULT_CACHE_DIR))
+        exec_cache.set_cache_dir(cache_dir)
+
     if args.experiment == "all":
         for name in ALL_EXPERIMENTS:
             _run_one(name, args.quick)
+        _print_cache_stats()
         return 0
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
         return 2
     _run_one(args.experiment, args.quick)
+    _print_cache_stats()
     return 0
+
+
+def _print_cache_stats() -> None:
+    cache = exec_cache.get_cache()
+    stats = cache.stats()
+    where = cache.path or "memory only"
+    # Parent-process counters only: with --jobs > 1 most compiles (and
+    # their cache hits) happen inside workers, whose counters die with
+    # the worker processes.
+    print(f"[compile cache ({where}), parent process: "
+          f"{stats['memory_hits']} memory hits, "
+          f"{stats['disk_hits']} disk hits, {stats['misses']} misses]",
+          file=sys.stderr)
 
 
 if __name__ == "__main__":

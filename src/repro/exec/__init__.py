@@ -1,0 +1,55 @@
+"""Parallel sweep execution: task grids, deterministic seeding, and a
+persistent compile cache.
+
+The subsystem has three parts:
+
+* :mod:`repro.exec.keys` — canonical content keys for compilations and
+  sweep tasks, plus spawn-safe per-task seed derivation;
+* :mod:`repro.exec.cache` — a two-tier (memory + on-disk) compile cache
+  shared by every figure driver, strategy, and worker process;
+* :mod:`repro.exec.engine` — ``run_tasks``: fan a flat task list over a
+  ``ProcessPoolExecutor`` with results returned in task order.
+
+The invariant the whole package exists to uphold: **any worker count
+produces bitwise-identical results**, because every task's randomness is
+derived from its canonical key and compile artifacts are content-
+addressed.
+"""
+
+from repro.exec.cache import (
+    CompileCache,
+    cached_compile,
+    get_cache,
+    get_cache_dir,
+    set_cache_dir,
+)
+from repro.exec.engine import (
+    current_jobs,
+    run_tasks,
+    set_jobs,
+    sweep_settings,
+)
+from repro.exec.keys import (
+    SCHEMA_VERSION,
+    compile_key,
+    derive_seed,
+    task_grid,
+    task_key,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CompileCache",
+    "cached_compile",
+    "compile_key",
+    "current_jobs",
+    "derive_seed",
+    "get_cache",
+    "get_cache_dir",
+    "run_tasks",
+    "set_cache_dir",
+    "set_jobs",
+    "sweep_settings",
+    "task_grid",
+    "task_key",
+]

@@ -1,0 +1,194 @@
+"""Persistent, cross-process compilation cache.
+
+Compilation dominates every sweep: the figure drivers and the shot
+simulator compile the same (circuit, topology, config) points over and
+over, and each fresh process used to start from zero.  This module backs
+every compile with a two-tier cache:
+
+* an **in-memory** tier (always on) deduplicating work within a process;
+* an optional **on-disk** tier shared between processes and across runs,
+  keyed by :func:`repro.exec.keys.compile_key`.
+
+Disk entries are content-addressed pickles written atomically (temp file
++ ``os.replace``), so concurrent workers hammering the same directory
+never observe a torn entry; a corrupt or unreadable file is treated as a
+miss and overwritten.  Because a :class:`CompiledProgram` stores the
+wall-clock ``compile_seconds`` measured when it was first built, a warm
+cache also pins the *measured compile time* — which is what makes
+figure output containing compile durations reproducible run-to-run.
+
+Cached programs are shared objects: treat them as immutable (the loss
+strategies replace their program, never mutate it).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+from repro.circuits.circuit import Circuit
+from repro.core.config import CompilerConfig
+from repro.core.result import CompiledProgram
+from repro.exec.keys import compile_key
+from repro.hardware.topology import Topology
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class CompileCache:
+    """Two-tier (memory + optional disk) store of compiled programs."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = os.path.abspath(path) if path else None
+        self._memory: dict = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    # -- lookup/store ------------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[CompiledProgram]:
+        program = self._memory.get(key)
+        if program is not None:
+            self.memory_hits += 1
+            return program
+        program = self._read_disk(key)
+        if program is not None:
+            self.disk_hits += 1
+            self._memory[key] = program
+            return program
+        self.misses += 1
+        return None
+
+    def store(self, key: str, program: CompiledProgram) -> None:
+        self._memory[key] = program
+        if self.path is not None:
+            self._write_disk(key, program)
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def stats(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries_in_memory": len(self._memory),
+        }
+
+    # -- disk tier ---------------------------------------------------------------
+
+    def _file_for(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".pkl")
+
+    def _read_disk(self, key: str) -> Optional[CompiledProgram]:
+        if self.path is None:
+            return None
+        target = self._file_for(key)
+        try:
+            with open(target, "rb") as handle:
+                program = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        return program if isinstance(program, CompiledProgram) else None
+
+    def _write_disk(self, key: str, program: CompiledProgram) -> None:
+        target = self._file_for(key)
+        directory = os.path.dirname(target)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(program, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to memory-only.
+            pass
+
+
+# -- process-global cache ----------------------------------------------------------
+
+_ACTIVE: Optional[CompileCache] = None
+
+
+def get_cache() -> CompileCache:
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = CompileCache(os.environ.get(CACHE_DIR_ENV) or None)
+    return _ACTIVE
+
+
+def set_cache_dir(path: Optional[str]) -> CompileCache:
+    """Point the process-global cache at ``path`` (None = memory only).
+
+    Always starts from an empty memory tier; to restore a previous
+    cache *object* (warm tier and stats intact), use :func:`swap_cache`.
+    """
+    global _ACTIVE
+    _ACTIVE = CompileCache(path)
+    return _ACTIVE
+
+
+def swap_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
+    """Install ``cache`` as the process-global cache, returning the
+    previous one (which may be None if never initialized)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+def get_cache_dir() -> Optional[str]:
+    return get_cache().path
+
+
+# -- the cached compile entry point ------------------------------------------------
+
+
+def cached_compile(
+    circuit: Circuit,
+    topology: Topology,
+    config: Optional[CompilerConfig] = None,
+    persist: bool = True,
+) -> CompiledProgram:
+    """``compile_circuit`` behind the process-global cache.
+
+    ``persist=False`` keeps the result out of the cache entirely (the
+    lookup still runs) — used for mid-run recompilations against
+    transient hole patterns: their keys are almost never seen twice, so
+    storing them would only grow the memory tier and bloat the disk
+    store without ever producing a hit.
+    """
+    from repro.core.compiler import compile_circuit
+
+    if config is None:
+        config = CompilerConfig(
+            max_interaction_distance=topology.max_interaction_distance
+        )
+    if abs(config.max_interaction_distance
+           - topology.max_interaction_distance) > 1e-9:
+        # Mirror compile_circuit's normalization so equal effective
+        # compilations share one key.
+        config = config.with_mid(topology.max_interaction_distance)
+
+    cache = get_cache()
+    key = compile_key(circuit, topology, config)
+    program = cache.lookup(key)
+    if program is None:
+        program = compile_circuit(circuit, topology, config)
+        if persist:
+            cache.store(key, program)
+    return program

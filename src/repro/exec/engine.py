@@ -1,0 +1,111 @@
+"""Parallel sweep engine.
+
+Experiment drivers describe their work as a flat list of picklable task
+dicts (built with :func:`repro.exec.keys.task_grid`) plus a module-level
+task function; :func:`run_tasks` executes the list either inline
+(``jobs=1``) or fanned out over a spawn-context ``ProcessPoolExecutor``.
+
+Determinism contract: results are returned **in task order** regardless
+of completion order, and every stochastic task must derive its RNG seed
+from its canonical task key (:func:`repro.exec.keys.derive_seed`), never
+from a shared sequential stream.  Under that contract ``jobs=1`` and
+``jobs=N`` are bitwise-identical.
+
+The spawn context (rather than fork) is deliberate: workers start from a
+clean interpreter, so results cannot depend on whatever compile caches
+or RNG state the parent had accumulated — the same guarantee a fresh CLI
+run gets.  Workers inherit the parent's on-disk cache directory so all
+processes share compile work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, List, Optional
+
+from repro.exec import cache as _cache
+
+#: Process-global default worker count, set by the CLI's ``--jobs``.
+_JOBS = 1
+
+
+def set_jobs(jobs: int) -> None:
+    global _JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _JOBS = int(jobs)
+
+
+def current_jobs() -> int:
+    return _JOBS
+
+
+@contextmanager
+def sweep_settings(jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = "__keep__"):
+    """Temporarily override the global jobs count and/or cache directory.
+
+    On exit the previous cache *object* is reinstated, warm memory tier
+    and stats included — the override is transparent to surrounding
+    code.
+    """
+    global _JOBS
+    saved_jobs = _JOBS
+    saved_cache = None
+    try:
+        if jobs is not None:
+            set_jobs(jobs)
+        if cache_dir != "__keep__":
+            saved_cache = _cache.swap_cache(_cache.CompileCache(cache_dir))
+        yield
+    finally:
+        _JOBS = saved_jobs
+        if cache_dir != "__keep__":
+            _cache.swap_cache(saved_cache)
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    # Mirror the parent's cache state exactly — including "disabled".
+    # A worker must not fall back to REPRO_CACHE_DIR from the inherited
+    # environment when the parent explicitly runs without a disk cache.
+    _cache.set_cache_dir(cache_dir)
+
+
+def run_tasks(
+    task_fn: Callable,
+    tasks: Iterable,
+    jobs: Optional[int] = None,
+) -> List:
+    """Run ``task_fn`` over every task, returning results in task order.
+
+    ``task_fn`` must be a module-level callable and each task picklable
+    when ``jobs > 1`` (spawn-based workers re-import the module).  A task
+    raising an exception propagates it to the caller.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = current_jobs()
+    jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1
+
+    if jobs == 1:
+        return [task_fn(task) for task in tasks]
+
+    context = multiprocessing.get_context("spawn")
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(_cache.get_cache_dir(),),
+    )
+    try:
+        futures = [pool.submit(task_fn, task) for task in tasks]
+        return [future.result() for future in futures]
+    except BaseException:
+        # Fail fast: don't let a 200-cell grid grind on for minutes
+        # after cell 3 has already doomed the sweep.
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    finally:
+        pool.shutdown(wait=True)

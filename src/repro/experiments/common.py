@@ -17,6 +17,8 @@ from repro.analysis.architectures import (
     Architecture,
     compiled_metrics,
     neutral_atom_arch,
+    prewarm_metrics,
+    savings_points,
 )
 from repro.analysis.success import valid_sizes
 from repro.workloads.registry import BENCHMARK_ORDER
@@ -88,10 +90,16 @@ def savings_over_baseline(
     baseline_arch = na_arch_for_mid(
         1.0, native_max_arity=native_max_arity, grid_side=grid_side
     )
-    for mid in mids:
-        arch = na_arch_for_mid(
-            mid, native_max_arity=native_max_arity, grid_side=grid_side
-        )
+    sweep_archs = [
+        na_arch_for_mid(mid, native_max_arity=native_max_arity,
+                        grid_side=grid_side)
+        for mid in mids
+    ]
+    # Fan the whole (size x MID) compile grid out over the sweep engine;
+    # the serial aggregation below then runs entirely against the cache.
+    prewarm_metrics(savings_points(benchmark, sizes,
+                                   [baseline_arch] + sweep_archs))
+    for mid, arch in zip(mids, sweep_archs):
         savings = []
         for size in sizes:
             base = getattr(compiled_metrics(benchmark, size, baseline_arch), metric)

@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CompilerConfig
+from repro.exec.keys import derive_seed, task_key
 from repro.loss.strategies import STRATEGY_ORDER, make_strategy
 from repro.loss.tolerance import ToleranceResult, max_loss_tolerance
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, base_seed_from
 from repro.utils.textplot import format_table, percent
 from repro.workloads.registry import build_circuit
 
@@ -61,6 +62,20 @@ class Fig10Result:
         return "\n".join(lines)
 
 
+def _tolerance_task(task: dict) -> ToleranceResult:
+    """Sweep-engine worker: one (benchmark, strategy, MID) tolerance cell."""
+    circuit = build_circuit(task["benchmark"], task["program_size"])
+    return max_loss_tolerance(
+        make_strategy(task["strategy"]),
+        circuit,
+        task["grid_side"],
+        task["mid"],
+        config=CompilerConfig(max_interaction_distance=task["mid"]),
+        trials=task["trials"],
+        rng=task["seed"],
+    )
+
+
 def run(
     benchmarks: Sequence[str] = ("cnu", "cuccaro"),
     mids: Optional[Sequence[float]] = None,
@@ -68,31 +83,37 @@ def run(
     strategies: Optional[Sequence[str]] = None,
     trials: int = 5,
     rng: RngLike = 0,
+    jobs: Optional[int] = None,
 ) -> Fig10Result:
-    """Regenerate Fig 10."""
+    """Regenerate Fig 10 (cells fanned out over the sweep engine)."""
+    from repro.exec.engine import run_tasks
+
     mids = list(mids) if mids is not None else list(PAPER_LOSS_MIDS)
     strategies = (
         list(strategies) if strategies is not None else list(STRATEGY_ORDER)
     )
-    generator = ensure_rng(rng)
+    base_seed = base_seed_from(rng)
     result = Fig10Result()
+    tasks = []
     for benchmark in benchmarks:
-        circuit = build_circuit(benchmark, program_size)
         for mid in mids:
             for name in strategies:
                 if name.startswith("c") and "small" in name and mid <= 2.0:
                     continue  # compile-small undefined at MID 2 (paper too)
-                strategy = make_strategy(name)
-                seed = int(generator.integers(2**32))
-                result.cells[(benchmark, name, mid)] = max_loss_tolerance(
-                    strategy,
-                    circuit,
-                    GRID_SIDE,
-                    mid,
-                    config=CompilerConfig(max_interaction_distance=mid),
-                    trials=trials,
-                    rng=seed,
-                )
+                key = task_key(experiment="fig10", benchmark=benchmark,
+                               strategy=name, mid=float(mid),
+                               program_size=program_size, trials=trials)
+                tasks.append({
+                    "benchmark": benchmark,
+                    "strategy": name,
+                    "mid": float(mid),
+                    "program_size": program_size,
+                    "grid_side": GRID_SIDE,
+                    "trials": trials,
+                    "seed": derive_seed(key, base=base_seed),
+                })
+    for task, cell in zip(tasks, run_tasks(_tolerance_task, tasks, jobs=jobs)):
+        result.cells[(task["benchmark"], task["strategy"], task["mid"])] = cell
     return result
 
 

@@ -17,10 +17,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.metrics import ProgramMetrics
 from repro.analysis.success import calibrate_two_qubit_error
 from repro.core.config import CompilerConfig
+from repro.exec.keys import derive_seed, task_key
 from repro.hardware.noise import NoiseModel
 from repro.hardware.topology import Topology
 from repro.loss.strategies import make_strategy
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, base_seed_from, ensure_rng
 from repro.utils.textplot import format_series
 from repro.workloads.registry import build_circuit
 
@@ -86,6 +87,23 @@ def _success_trace(
     return trace
 
 
+def _trace_task(task: dict) -> List[float]:
+    """Sweep-engine worker: pointwise-averaged traces for one cell."""
+    noise = NoiseModel.neutral_atom(two_qubit_error=task["two_qubit_error"])
+    traces = []
+    for trial_seed in task["trial_seeds"]:
+        traces.append(_success_trace(
+            task["strategy"], task["benchmark"], task["mid"], noise,
+            task["max_holes"], task["program_size"], ensure_rng(trial_seed),
+        ))
+    length = max(len(t) for t in traces)
+    averaged = []
+    for i in range(length):
+        values = [t[i] for t in traces if i < len(t)]
+        averaged.append(sum(values) / len(values))
+    return averaged
+
+
 def run(
     benchmarks: Sequence[str] = ("cnu", "cuccaro"),
     strategies: Sequence[str] = FIG11_STRATEGIES,
@@ -94,39 +112,56 @@ def run(
     program_size: int = PROGRAM_SIZE,
     trials: int = 3,
     rng: RngLike = 0,
+    jobs: Optional[int] = None,
 ) -> Fig11Result:
     """Regenerate Fig 11 (traces averaged pointwise over trials)."""
-    generator = ensure_rng(rng)
-    result = Fig11Result()
-    for benchmark in benchmarks:
-        # Calibrate on the MID-3 native compilation, as a representative
-        # anchor for "about 0.6 success to begin with".
-        from repro.analysis.architectures import compiled_metrics, neutral_atom_arch
+    from repro.analysis.architectures import (
+        compiled_metrics,
+        neutral_atom_arch,
+        prewarm_metrics,
+    )
+    from repro.exec.engine import run_tasks
 
-        anchor = compiled_metrics(
-            benchmark, program_size, neutral_atom_arch(mid=3.0, native_max_arity=3)
-        )
-        error = calibrate_two_qubit_error(
+    base_seed = base_seed_from(rng)
+    result = Fig11Result()
+    # Calibrate on the MID-3 native compilation, as a representative
+    # anchor for "about 0.6 success to begin with".
+    anchor_arch = neutral_atom_arch(mid=3.0, native_max_arity=3)
+    prewarm_metrics(
+        (benchmark, program_size, anchor_arch, 0) for benchmark in benchmarks
+    )
+    for benchmark in benchmarks:
+        anchor = compiled_metrics(benchmark, program_size, anchor_arch)
+        result.calibrated_errors[benchmark] = calibrate_two_qubit_error(
             anchor, NoiseModel.neutral_atom, TARGET_BASE_SUCCESS
         )
-        noise = NoiseModel.neutral_atom(two_qubit_error=error)
-        result.calibrated_errors[benchmark] = error
+
+    tasks = []
+    for benchmark in benchmarks:
         for strategy_name in strategies:
             for mid in mids:
                 if "small" in strategy_name and mid <= 2.0:
                     continue
-                traces = []
-                for _ in range(trials):
-                    traces.append(_success_trace(
-                        strategy_name, benchmark, mid, noise,
-                        max_holes, program_size, generator,
-                    ))
-                length = max(len(t) for t in traces)
-                averaged = []
-                for i in range(length):
-                    values = [t[i] for t in traces if i < len(t)]
-                    averaged.append(sum(values) / len(values))
-                result.traces[(benchmark, strategy_name, mid)] = averaged
+                key = task_key(experiment="fig11", benchmark=benchmark,
+                               strategy=strategy_name, mid=float(mid),
+                               max_holes=max_holes,
+                               program_size=program_size)
+                tasks.append({
+                    "benchmark": benchmark,
+                    "strategy": strategy_name,
+                    "mid": float(mid),
+                    "max_holes": max_holes,
+                    "program_size": program_size,
+                    "two_qubit_error": result.calibrated_errors[benchmark],
+                    "trial_seeds": [
+                        derive_seed(f"{key};trial={t}", base=base_seed)
+                        for t in range(trials)
+                    ],
+                })
+    for task, averaged in zip(tasks, run_tasks(_trace_task, tasks, jobs=jobs)):
+        result.traces[
+            (task["benchmark"], task["strategy"], task["mid"])
+        ] = averaged
     return result
 
 

@@ -11,19 +11,15 @@ of the process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import CompilerConfig
+from repro.exec.keys import derive_seed, task_key
 from repro.hardware.loss import LossModel
-from repro.hardware.noise import NoiseModel
-from repro.hardware.topology import Topology
-from repro.loss.runner import ShotRunner
-from repro.loss.strategies import make_strategy
-from repro.utils.rng import RngLike, ensure_rng
+from repro.loss.runner import ShotSpec, run_shot_specs
+from repro.utils.rng import RngLike, base_seed_from
 from repro.utils.textplot import format_series
-from repro.workloads.registry import build_circuit
 
 GRID_SIDE = 10
 PROGRAM_SIZE = 30
@@ -68,29 +64,36 @@ def run(
     shots_per_run: int = 400,
     program_size: int = PROGRAM_SIZE,
     rng: RngLike = 0,
+    jobs: Optional[int] = None,
 ) -> Fig13Result:
-    """Regenerate Fig 13."""
+    """Regenerate Fig 13 (the (MID x factor) grid via the sweep engine)."""
     factors = list(factors) if factors is not None else improvement_factors()
-    generator = ensure_rng(rng)
-    noise = NoiseModel.neutral_atom()
-    circuit = build_circuit(benchmark, program_size)
+    base_seed = base_seed_from(rng)
     result = Fig13Result()
+    cells = []
     for mid in mids:
         for factor in factors:
-            strategy = make_strategy("c. small+reroute", noise=noise)
-            runner = ShotRunner(
-                strategy,
-                circuit,
-                Topology.square(GRID_SIDE, mid),
-                config=CompilerConfig(max_interaction_distance=mid),
-                noise=noise,
-                loss_model=LossModel.lossless_readout(improvement_factor=factor),
-                rng=int(generator.integers(2**32)),
-            )
-            run_result = runner.run(max_shots=shots_per_run)
-            result.shots_before_reload[(mid, factor)] = (
-                run_result.mean_shots_between_reloads
-            )
+            key = task_key(experiment="fig13", benchmark=benchmark,
+                           mid=float(mid), factor=float(factor),
+                           program_size=program_size, shots=shots_per_run)
+            cells.append((mid, factor, ShotSpec(
+                strategy="c. small+reroute",
+                benchmark=benchmark,
+                program_size=program_size,
+                grid_side=GRID_SIDE,
+                mid=float(mid),
+                max_shots=shots_per_run,
+                seed=derive_seed(key, base=base_seed),
+                loss_model=LossModel.lossless_readout(
+                    improvement_factor=factor
+                ),
+            )))
+    for (mid, factor, _), run_result in zip(
+        cells, run_shot_specs([spec for _, _, spec in cells], jobs=jobs)
+    ):
+        result.shots_before_reload[(mid, factor)] = (
+            run_result.mean_shots_between_reloads
+        )
     return result
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics
+from repro.analysis.architectures import compiled_metrics, prewarm_metrics
 from repro.experiments.common import (
     SavingsRow,
     all_benchmarks,
@@ -68,18 +68,28 @@ def run(
     mids = mids_or_default(mids)
     result = Fig4Result()
 
-    for benchmark in benchmarks:
-        sizes = default_sizes(benchmark, max_size, size_step)
-        result.bars.extend(
-            savings_over_baseline(benchmark, sizes, mids, metric="depth")
-        )
-
     line_sizes = (
         list(qft_line_sizes)
         if qft_line_sizes is not None
         else [s for s in (10, 26, 42, 66) if s <= max_size]
     )
     line_mids = [1.0] + mids
+    # One prewarm for the whole figure, not one pool per benchmark.
+    savings_archs = [na_arch_for_mid(mid) for mid in [1.0] + mids]
+    prewarm_metrics(
+        [(benchmark, size, arch, 0)
+         for benchmark in benchmarks
+         for size in default_sizes(benchmark, max_size, size_step)
+         for arch in savings_archs]
+        + [("qft-adder", size, na_arch_for_mid(mid), 0)
+           for size in line_sizes for mid in line_mids]
+    )
+
+    for benchmark in benchmarks:
+        sizes = default_sizes(benchmark, max_size, size_step)
+        result.bars.extend(
+            savings_over_baseline(benchmark, sizes, mids, metric="depth")
+        )
     for size in line_sizes:
         series = []
         for mid in line_mids:

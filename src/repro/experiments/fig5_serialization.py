@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics
+from repro.analysis.architectures import compiled_metrics, prewarm_metrics
 from repro.experiments.common import (
     all_benchmarks,
     default_sizes,
@@ -81,6 +81,26 @@ def run(
     mids = mids_or_default(mids)
     result = Fig5Result()
 
+    line_sizes = (
+        list(qaoa_line_sizes)
+        if qaoa_line_sizes is not None
+        else [s for s in (20, 30, 40, 50) if s <= max_size]
+    )
+    line_mids = [1.0] + mids
+    points = []
+    for benchmark in benchmarks:
+        for size in default_sizes(benchmark, max_size, size_step):
+            for mid in mids:
+                for radius in ("half", "none"):
+                    points.append((benchmark, size,
+                                   na_arch_for_mid(mid, restriction_radius=radius), 0))
+    for size in line_sizes:
+        for mid in line_mids:
+            for radius in ("half", "none"):
+                points.append(("qaoa", size,
+                               na_arch_for_mid(mid, restriction_radius=radius), 0))
+    prewarm_metrics(points)
+
     for benchmark in benchmarks:
         sizes = default_sizes(benchmark, max_size, size_step)
         for mid in mids:
@@ -101,12 +121,6 @@ def run(
                 )
             )
 
-    line_sizes = (
-        list(qaoa_line_sizes)
-        if qaoa_line_sizes is not None
-        else [s for s in (20, 30, 40, 50) if s <= max_size]
-    )
-    line_mids = [1.0] + mids
     for size in line_sizes:
         series = []
         for mid in line_mids:

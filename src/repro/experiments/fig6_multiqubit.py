@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics
+from repro.analysis.architectures import compiled_metrics, prewarm_metrics
 from repro.experiments.common import mids_or_default, na_arch_for_mid
 from repro.utils.textplot import format_table
 
@@ -77,6 +77,13 @@ def run(
     sizes = list(sizes) if sizes is not None else [20, 40, 60, 94]
     mids = mids_or_default(mids)
     result = Fig6Result()
+    prewarm_metrics(
+        (benchmark, size, na_arch_for_mid(mid, native_max_arity=arity), 0)
+        for benchmark in benchmarks
+        for size in sizes
+        for mid in [1.0] + list(mids)
+        for arity in (3, 2)
+    )
     for benchmark in benchmarks:
         for size in sizes:
             for mid in [1.0] + list(mids):

@@ -60,9 +60,14 @@ class RunResult:
 
     @property
     def overhead_time(self) -> float:
-        """Everything except useful circuit execution."""
+        """Everything except useful circuit execution.
+
+        A timeline can legitimately contain no run events at all
+        (``max_shots=0`` or ``target_successful=0``), so the run total
+        defaults to zero rather than assuming the key exists.
+        """
         by_kind = self.time_by_kind()
-        return self.total_time - by_kind["run"]
+        return self.total_time - by_kind.get("run", 0.0)
 
     @property
     def mean_shots_between_reloads(self) -> float:
@@ -197,3 +202,63 @@ class ShotRunner:
         if duration > 0:
             result.timeline.append(TimelineEvent(kind, clock, duration))
         return clock + duration
+
+
+# -- batch execution over the sweep engine ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """One self-contained shot-simulation task.
+
+    Everything needed to reproduce a run from a clean process: the
+    benchmark is named (workers rebuild the circuit), the models are
+    frozen dataclasses, and the seed is an integer — typically derived
+    from the task's canonical key via
+    :func:`repro.exec.keys.derive_seed`, which is what makes a batch
+    deterministic at any worker count.
+    """
+
+    strategy: str
+    benchmark: str
+    program_size: int
+    grid_side: int
+    mid: float
+    max_shots: int
+    seed: int
+    target_successful: Optional[int] = None
+    loss_model: Optional[LossModel] = None
+    timing: Optional[TimingModel] = None
+    noise: Optional[NoiseModel] = None
+    include_compile_event: bool = True
+
+
+def run_shot_spec(spec: ShotSpec) -> RunResult:
+    """Execute one :class:`ShotSpec` (module-level: usable as an engine
+    task function from spawn-based workers)."""
+    from repro.loss.strategies import make_strategy
+    from repro.workloads.registry import build_circuit
+
+    noise = spec.noise or NoiseModel.neutral_atom()
+    runner = ShotRunner(
+        make_strategy(spec.strategy, noise=noise),
+        build_circuit(spec.benchmark, spec.program_size),
+        Topology.square(spec.grid_side, spec.mid),
+        config=CompilerConfig(max_interaction_distance=spec.mid),
+        noise=noise,
+        loss_model=spec.loss_model,
+        timing=spec.timing,
+        rng=spec.seed,
+    )
+    return runner.run(
+        max_shots=spec.max_shots,
+        target_successful=spec.target_successful,
+        include_compile_event=spec.include_compile_event,
+    )
+
+
+def run_shot_specs(specs, jobs: Optional[int] = None) -> List[RunResult]:
+    """Run a batch of specs through the sweep engine, in spec order."""
+    from repro.exec.engine import run_tasks
+
+    return run_tasks(run_shot_spec, list(specs), jobs=jobs)

@@ -152,10 +152,16 @@ class CopingStrategy(ABC):
         topology: Topology,
         config: CompilerConfig,
     ) -> CompiledProgram:
-        """Default: compile at the topology's full interaction distance."""
-        from repro.core.compiler import compile_circuit
+        """Default: compile at the topology's full interaction distance.
 
-        return compile_circuit(circuit, topology, config)
+        Routed through the persistent compile cache: every strategy (and
+        every sweep worker) asking for the same pristine-grid compilation
+        shares one artifact.  Cached programs are shared — strategies must
+        replace ``self.program``, never mutate it.
+        """
+        from repro.exec.cache import cached_compile
+
+        return cached_compile(circuit, topology, config)
 
     def _reset_adaptation(self) -> None:
         """Clear any adaptation state (virtual maps, fixups)."""

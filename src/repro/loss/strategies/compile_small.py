@@ -19,8 +19,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.circuits.circuit import Circuit
-from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
+from repro.exec.cache import cached_compile
 from repro.core.result import CompiledProgram
 from repro.hardware.noise import NoiseModel
 from repro.hardware.topology import Topology
@@ -63,7 +63,7 @@ class CompileSmall(VirtualRemap):
         reduced = compiled_distance(topology.max_interaction_distance, self.margin)
         small_topology = topology.with_interaction_distance(reduced)
         small_config = config.with_mid(reduced)
-        return compile_circuit(circuit, small_topology, small_config)
+        return cached_compile(circuit, small_topology, small_config)
 
     # _distance_limit stays the TRUE device maximum (inherited behaviour
     # reads it from self.topology, which keeps the full MID) — that is the
@@ -93,4 +93,4 @@ class CompileSmallReroute(MinorReroute):
         reduced = compiled_distance(topology.max_interaction_distance, self.margin)
         small_topology = topology.with_interaction_distance(reduced)
         small_config = config.with_mid(reduced)
-        return compile_circuit(circuit, small_topology, small_config)
+        return cached_compile(circuit, small_topology, small_config)

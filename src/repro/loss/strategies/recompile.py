@@ -9,8 +9,8 @@ time (the reason it is excluded from Fig 12's overhead chart).
 
 from __future__ import annotations
 
-from repro.core.compiler import compile_circuit
 from repro.core.errors import CompilationError
+from repro.exec.cache import cached_compile
 from repro.loss.strategies.base import CopingStrategy, LossOutcome
 
 
@@ -23,7 +23,12 @@ class AlwaysRecompile(CopingStrategy):
         if site not in self.program.used_sites():
             return LossOutcome.spare_loss()
         try:
-            recompiled = compile_circuit(self.source, self.topology, self.config)
+            # persist=False: transient hole patterns essentially never
+            # recur, so the result is looked up but never stored — in
+            # either cache tier.
+            recompiled = cached_compile(
+                self.source, self.topology, self.config, persist=False
+            )
         except CompilationError:
             return LossOutcome.needs_reload()
         previous_swaps = self.program.swap_count

@@ -32,6 +32,20 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
 
 
+def base_seed_from(rng: RngLike) -> int:
+    """Collapse an ``RngLike`` into one integer base seed.
+
+    Sweep drivers combine this base with each task's canonical key
+    (:func:`repro.exec.keys.derive_seed`) so per-task streams never
+    depend on task enumeration order.  An integer passes through
+    unchanged; a generator contributes a single draw; ``None`` draws a
+    fresh unseeded value.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
 def spawn(rng: RngLike, count: int) -> list:
     """Derive ``count`` independent child generators from ``rng``.
 

@@ -1,0 +1,135 @@
+"""Tests for the persistent compile cache (repro.exec.cache)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.compiler import compile_circuit
+from repro.core.config import CompilerConfig
+from repro.exec import cache as exec_cache
+from repro.exec.cache import CompileCache, cached_compile
+from repro.exec.keys import compile_key
+from repro.hardware.topology import Topology
+from repro.workloads.registry import build_circuit
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_cache():
+    """Isolate every test from the process-global cache, and restore it."""
+    saved = exec_cache._ACTIVE
+    exec_cache._ACTIVE = None
+    yield
+    exec_cache._ACTIVE = saved
+
+
+def _inputs():
+    circuit = build_circuit("bv", 6)
+    topology = Topology.square(5, 3.0)
+    config = CompilerConfig(max_interaction_distance=3.0)
+    return circuit, topology, config
+
+
+def test_memory_tier_shares_one_artifact():
+    exec_cache.set_cache_dir(None)
+    circuit, topology, config = _inputs()
+    first = cached_compile(circuit, topology, config)
+    second = cached_compile(circuit, Topology.square(5, 3.0), config)
+    assert first is second
+    stats = exec_cache.get_cache().stats()
+    assert stats["memory_hits"] == 1 and stats["misses"] == 1
+
+
+def test_disk_tier_round_trip(tmp_path):
+    circuit, topology, config = _inputs()
+    exec_cache.set_cache_dir(str(tmp_path))
+    first = cached_compile(circuit, topology, config)
+
+    # A second process is simulated by resetting to a fresh cache object
+    # pointed at the same directory: the program must come back from disk
+    # with identical content, including the pinned compile time.
+    exec_cache.set_cache_dir(str(tmp_path))
+    second = cached_compile(circuit, topology, config)
+    assert second is not first
+    assert second.summary() == first.summary()
+    assert second.compile_seconds == first.compile_seconds
+    assert second.schedule == first.schedule
+    assert exec_cache.get_cache().stats()["disk_hits"] == 1
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    circuit, topology, config = _inputs()
+    exec_cache.set_cache_dir(str(tmp_path))
+    cached_compile(circuit, topology, config)
+
+    key = compile_key(circuit, topology, config)
+    entry = exec_cache.get_cache()._file_for(key)
+    with open(entry, "wb") as handle:
+        handle.write(b"not a pickle")
+
+    exec_cache.set_cache_dir(str(tmp_path))
+    program = cached_compile(circuit, topology, config)
+    assert program.op_count > 0
+    assert exec_cache.get_cache().stats()["disk_hits"] == 0
+
+
+def test_non_program_pickle_is_a_miss(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    target = cache._file_for("ab" + "0" * 62)
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    with open(target, "wb") as handle:
+        pickle.dump({"not": "a program"}, handle)
+    assert cache.lookup("ab" + "0" * 62) is None
+
+
+def test_persist_false_stores_nothing(tmp_path):
+    """Transient compiles (hole-pattern recompilations) must not grow
+    either cache tier — their keys essentially never recur."""
+    circuit, topology, config = _inputs()
+    exec_cache.set_cache_dir(str(tmp_path))
+    cached_compile(circuit, topology, config, persist=False)
+    files = [f for _, _, names in os.walk(tmp_path) for f in names]
+    assert files == []
+    assert exec_cache.get_cache().stats()["entries_in_memory"] == 0
+    # ... but a transient lookup still benefits from persisted entries.
+    stored = cached_compile(circuit, topology, config)
+    assert cached_compile(circuit, topology, config, persist=False) is stored
+
+
+def test_unwritable_cache_dir_degrades_to_memory(tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.mkdir()
+    os.chmod(blocked, 0o500)
+    try:
+        circuit, topology, config = _inputs()
+        exec_cache.set_cache_dir(str(blocked))
+        program = cached_compile(circuit, topology, config)
+        assert program.op_count > 0
+    finally:
+        os.chmod(blocked, 0o700)
+
+
+def test_mid_mismatch_normalized_like_compile_circuit(tmp_path):
+    """cached_compile must key on the *effective* config: a config whose
+    MID disagrees with the topology is normalized exactly the way
+    compile_circuit normalizes it, so both spellings share one entry."""
+    circuit, topology, _ = _inputs()
+    exec_cache.set_cache_dir(None)
+    stale_config = CompilerConfig(max_interaction_distance=9.0)
+    via_cache = cached_compile(circuit, topology, stale_config)
+    direct = compile_circuit(circuit, topology, stale_config)
+    assert via_cache.summary() == direct.summary()
+    again = cached_compile(
+        circuit, topology, CompilerConfig(max_interaction_distance=3.0)
+    )
+    assert again is via_cache
+
+
+def test_cached_compile_equals_direct_compile():
+    exec_cache.set_cache_dir(None)
+    circuit, topology, config = _inputs()
+    cached = cached_compile(circuit, topology, config)
+    direct = compile_circuit(circuit, topology, config)
+    assert cached.summary() == direct.summary()
+    assert cached.schedule == direct.schedule
+    assert cached.initial_layout == direct.initial_layout

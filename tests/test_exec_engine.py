@@ -1,0 +1,86 @@
+"""Tests for the sweep engine (repro.exec.engine).
+
+Parallel runs use real spawn-based worker processes, so the tests keep
+the workloads tiny; the invariant checked everywhere is the engine's
+contract — results in task order, identical at any worker count.
+"""
+
+import pytest
+
+from repro.exec import cache as exec_cache
+from repro.exec import engine
+from repro.exec.keys import derive_seed
+from repro.loss.runner import ShotSpec, run_shot_spec, run_shot_specs
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    saved_cache = exec_cache._ACTIVE
+    saved_jobs = engine.current_jobs()
+    exec_cache._ACTIVE = None
+    yield
+    exec_cache._ACTIVE = saved_cache
+    engine.set_jobs(saved_jobs)
+
+
+def test_results_preserve_task_order():
+    keys = [f"task={i}" for i in range(20)]
+    assert engine.run_tasks(derive_seed, keys, jobs=1) == [
+        derive_seed(k) for k in keys
+    ]
+
+
+def test_set_jobs_validates():
+    with pytest.raises(ValueError):
+        engine.set_jobs(0)
+
+
+def test_sweep_settings_restores_state(tmp_path):
+    engine.set_jobs(1)
+    outer = exec_cache.set_cache_dir(None)
+    with engine.sweep_settings(jobs=3, cache_dir=str(tmp_path)):
+        assert engine.current_jobs() == 3
+        assert exec_cache.get_cache_dir() == str(tmp_path)
+    assert engine.current_jobs() == 1
+    assert exec_cache.get_cache_dir() is None
+    # The previous cache OBJECT comes back — warm tier and stats intact.
+    assert exec_cache.get_cache() is outer
+
+
+def _tiny_specs():
+    base = dict(benchmark="bv", program_size=6, grid_side=5, mid=3.0,
+                max_shots=15)
+    return [
+        ShotSpec(strategy="always reload", seed=derive_seed("s=ar"), **base),
+        ShotSpec(strategy="virtual remapping", seed=derive_seed("s=vr"), **base),
+        ShotSpec(strategy="reroute", seed=derive_seed("s=rr"), **base),
+    ]
+
+
+def test_parallel_equals_serial(tmp_path):
+    """jobs=2 spawn workers reproduce jobs=1 results bit-for-bit."""
+    exec_cache.set_cache_dir(str(tmp_path))
+    specs = _tiny_specs()
+    serial = run_shot_specs(specs, jobs=1)
+    parallel = run_shot_specs(specs, jobs=2)
+    assert parallel == serial  # RunResult dataclass equality: full timelines
+
+
+def test_run_shot_spec_is_self_contained():
+    exec_cache.set_cache_dir(None)
+    spec = _tiny_specs()[0]
+    first = run_shot_spec(spec)
+    second = run_shot_spec(spec)
+    assert first == second
+    assert first.shots_attempted == 15
+
+
+def test_task_exceptions_propagate():
+    with pytest.raises(KeyError):
+        engine.run_tasks(
+            run_shot_spec,
+            [ShotSpec(strategy="no such strategy", benchmark="bv",
+                      program_size=6, grid_side=5, mid=3.0, max_shots=1,
+                      seed=0)],
+            jobs=1,
+        )
