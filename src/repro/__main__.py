@@ -6,10 +6,23 @@ Usage::
     python -m repro run fig3
     python -m repro run fig12 --quick
     python -m repro run all --quick --jobs 4 --cache-dir /tmp/repro-cache
+    python -m repro run fig3 --quick --format json --out fig3.json
+    python -m repro cache stats
+    python -m repro cache prune --max-size 256
 
-``--quick`` passes reduced parameters (the same scale the pytest
-benchmarks use is hit via ``pytest benchmarks/ --benchmark-only``;
-``--quick`` here is even smaller, for a fast smoke pass).
+Every run executes under a :class:`repro.api.Session` built from the
+flags — no process-global execution state.  ``--format text`` (the
+default) prints the figure text exactly as always; ``--format json``
+emits the result's schema-stable ``to_dict()`` envelope, which
+round-trips through ``ExperimentResult.from_dict``.  ``run all
+--format json`` emits one JSON object mapping each experiment name to
+its envelope (decode each value individually).  ``--out FILE`` writes
+the payload to a file instead of stdout.
+
+``--quick`` applies each experiment's registered reduced-parameter
+preset (the same scale the pytest benchmarks use is hit via ``pytest
+benchmarks/ --benchmark-only``; ``--quick`` here is even smaller, for a
+fast smoke pass).
 
 ``--jobs N`` fans sweep grids out over N worker processes; any N
 produces identical figure text because every task seeds its RNG from its
@@ -22,61 +35,133 @@ byte-comparable between runs sharing a warm cache.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
-from repro.exec import cache as exec_cache
-from repro.exec import engine as exec_engine
-from repro.experiments import ALL_EXPERIMENTS
+from repro.api import Session, all_experiments
+from repro.exec.cache import CACHE_DIR_ENV
 
 #: Default on-disk compile cache for CLI runs (override with --cache-dir,
 #: the REPRO_CACHE_DIR environment variable, or disable with --no-cache).
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro", "compile")
 
-#: Reduced keyword arguments per experiment for --quick runs.
-_QUICK_ARGS = {
-    "fig3": dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
-                 bv_line_sizes=(15, 27)),
-    "fig4": dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
-                 qft_line_sizes=(10, 26)),
-    "fig5": dict(max_size=24, size_step=8, mids=(2.0, 3.0),
-                 qaoa_line_sizes=(16,)),
-    "fig6": dict(sizes=(16, 30), mids=(2.0, 3.0)),
-    "fig7": dict(program_size=24, error_points=9),
-    "fig8": dict(max_size=30, size_step=10, error_points=9),
-    "fig10": dict(mids=(2.0, 3.0), program_size=20, trials=2),
-    "fig11": dict(benchmarks=("cnu",), mids=(3.0,), max_holes=10,
-                  program_size=20, trials=2),
-    "fig12": dict(mids=(3.0, 4.0), shots=120, program_size=20),
-    "fig13": dict(mids=(4.0,), factors=(1.0, 10.0), shots_per_run=150,
-                  program_size=20),
-    "fig14": dict(target_shots=10, program_size=20),
-    "validation": dict(),
-    "ablation-zones": dict(benchmarks=("qaoa",), program_size=20),
-    "ablation-lookahead": dict(program_size=20),
-    "ablation-margin": dict(program_size=20, trials=2, margins=(1.0, 2.0)),
-    "ext-ejection": dict(shots=60),
-    "ext-scaling": dict(grid_sides=(6, 10)),
-    "ext-noisy-validation": dict(shots=150),
-    "ext-trapped-ion": dict(benchmarks=("bv", "cnu", "qaoa"), program_size=20),
-    "ext-geometry": dict(benchmarks=("bv",), grid_side=5),
-}
+
+def _resolve_cache_dir(cache_dir, no_cache: bool):
+    if no_cache:
+        return None
+    return (cache_dir
+            or os.environ.get(CACHE_DIR_ENV)
+            or os.path.expanduser(DEFAULT_CACHE_DIR))
 
 
-def _run_one(name: str, quick: bool) -> None:
-    module = ALL_EXPERIMENTS[name]
-    kwargs = _QUICK_ARGS.get(name, {}) if quick else {}
+def _timed_run(session: Session, name: str, quick: bool):
+    """Run one experiment, emitting the timing diagnostic to stderr.
+
+    stdout stays reserved for the (deterministic) result payload, so two
+    runs can be compared byte-for-byte.
+    """
     start = time.perf_counter()
-    result = module.run(**kwargs)
+    result = session.run(name, quick=quick)
     elapsed = time.perf_counter() - start
-    print(result.format())
-    print()
-    # Diagnostics go to stderr: stdout carries only the (deterministic)
-    # figure text, so two runs can be compared byte-for-byte.
     print(f"[{name} regenerated in {elapsed:.1f}s"
           f"{' (quick parameters)' if quick else ''}]",
           file=sys.stderr)
+    return result
+
+
+def _emit(payload: str, out) -> None:
+    """Write ``payload`` verbatim to stdout or FILE — identical bytes
+    either way, so redirected stdout and --out are interchangeable."""
+    if out is None:
+        sys.stdout.write(payload)
+    else:
+        # newline='' disables platform newline translation, keeping the
+        # file byte-comparable with redirected stdout on every OS.
+        with open(out, "w", encoding="utf-8", newline="") as handle:
+            handle.write(payload)
+
+
+def _cmd_run(args) -> int:
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    specs = all_experiments()
+    if args.experiment != "all" and args.experiment not in specs:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(sorted(specs))}", file=sys.stderr)
+        return 2
+    names = list(specs) if args.experiment == "all" else [args.experiment]
+
+    session = Session(
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+    )
+    if args.format == "text" and args.out is None:
+        # Streaming text path: byte-identical to the historical CLI.
+        for name in names:
+            result = _timed_run(session, name, args.quick)
+            print(result.format())
+            print()
+        _print_cache_stats(session)
+        return 0
+
+    if args.format == "text":
+        # Same bytes as the streaming stdout mode (format() + blank
+        # separator per figure), so `--out f.txt` == `> f.txt`.
+        payload = "".join(
+            _timed_run(session, name, args.quick).format() + "\n\n"
+            for name in names
+        )
+    else:
+        payloads = {name: _timed_run(session, name, args.quick).to_dict()
+                    for name in names}
+        document = (payloads[names[0]] if args.experiment != "all"
+                    else payloads)
+        payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    try:
+        _emit(payload, args.out)
+    except OSError as error:
+        print(f"cannot write {args.out}: {error}", file=sys.stderr)
+        return 2
+    _print_cache_stats(session)
+    return 0
+
+
+def _cmd_list() -> int:
+    for name, spec in sorted(all_experiments().items()):
+        print(f"{name:22s} {spec.doc}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    # _resolve_cache_dir always lands on a concrete directory (flag, env,
+    # or the default), so cache.path is never None here.
+    session = Session(cache_dir=_resolve_cache_dir(args.cache_dir, False))
+    cache = session.cache
+
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache directory: {stats['path']}")
+        print(f"entries:         {stats['entries']}")
+        print(f"total size:      {stats['total_bytes'] / 1e6:.2f} MB")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear_disk()
+        print(f"removed {removed} entries from {cache.path}")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_size < 0:
+            print("--max-size must be >= 0", file=sys.stderr)
+            return 2
+        max_bytes = int(args.max_size * 1e6)
+        outcome = cache.prune_disk(max_bytes)
+        print(f"removed {outcome['removed']} least-recently-used entries; "
+              f"{outcome['remaining_entries']} remain "
+              f"({outcome['remaining_bytes'] / 1e6:.2f} MB) in {cache.path}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def main(argv=None) -> int:
@@ -86,14 +171,25 @@ def main(argv=None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available experiments")
+
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument(
         "experiment",
-        help=f"one of {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+        help="an experiment name (see 'list'), or 'all'",
     )
     run_parser.add_argument(
         "--quick", action="store_true",
         help="reduced parameters for a fast smoke run",
+    )
+    run_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text: the figure's rendered rows/series (default); "
+             "json: the schema-stable ExperimentResult envelope "
+             "(for 'all': one object mapping name -> envelope)",
+    )
+    run_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the result to FILE instead of stdout",
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -110,48 +206,45 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk compile cache (memory-only)",
     )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or shrink the on-disk compile cache")
+    cache_dir_parent = argparse.ArgumentParser(add_help=False)
+    cache_dir_parent.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR, else "
+             "~/.cache/repro/compile)",
+    )
+    cache_sub = cache_parser.add_subparsers(
+        dest="cache_command", required=True)
+    cache_sub.add_parser("stats", parents=[cache_dir_parent],
+                         help="entry count and total size")
+    cache_sub.add_parser("clear", parents=[cache_dir_parent],
+                         help="delete every persisted entry")
+    prune_parser = cache_sub.add_parser(
+        "prune", parents=[cache_dir_parent],
+        help="evict least-recently-used entries over a size cap")
+    prune_parser.add_argument(
+        "--max-size", type=float, required=True, metavar="MB",
+        help="target size of the disk tier, in megabytes",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for name, module in sorted(ALL_EXPERIMENTS.items()):
-            doc = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:22s} {doc}")
-        return 0
-
-    if args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
-        return 2
-    exec_engine.set_jobs(args.jobs)
-    if args.no_cache:
-        exec_cache.set_cache_dir(None)
-    else:
-        cache_dir = (args.cache_dir
-                     or os.environ.get(exec_cache.CACHE_DIR_ENV)
-                     or os.path.expanduser(DEFAULT_CACHE_DIR))
-        exec_cache.set_cache_dir(cache_dir)
-
-    if args.experiment == "all":
-        for name in ALL_EXPERIMENTS:
-            _run_one(name, args.quick)
-        _print_cache_stats()
-        return 0
-    if args.experiment not in ALL_EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"try: {', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
-        return 2
-    _run_one(args.experiment, args.quick)
-    _print_cache_stats()
-    return 0
+        return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_run(args)
 
 
-def _print_cache_stats() -> None:
-    cache = exec_cache.get_cache()
-    stats = cache.stats()
-    where = cache.path or "memory only"
-    # Parent-process counters only: with --jobs > 1 most compiles (and
-    # their cache hits) happen inside workers, whose counters die with
-    # the worker processes.
-    print(f"[compile cache ({where}), parent process: "
+def _print_cache_stats(session: Session) -> None:
+    stats = session.cache_stats()
+    where = session.cache.path or "memory only"
+    # The session is constructed per CLI invocation, so these counters
+    # are exactly this run's parent-process activity; with --jobs > 1
+    # most compiles (and their cache hits) happen inside workers, whose
+    # counters die with the worker processes.
+    print(f"[compile cache ({where}), this run: "
           f"{stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses]",
           file=sys.stderr)

@@ -12,6 +12,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.api.serialize import serializable
 from repro.core.result import CompiledProgram
 from repro.hardware.noise import NoiseModel
 
@@ -19,6 +20,7 @@ from repro.hardware.noise import NoiseModel
 StepKind = Tuple[bool, int]
 
 
+@serializable
 @dataclass(frozen=True)
 class ProgramMetrics:
     """Noise-independent summary of one compiled program."""

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.analysis.architectures import Architecture, compiled_metrics
 from repro.analysis.metrics import ProgramMetrics
+from repro.api.serialize import serializable
 from repro.core.errors import CompilationError
 from repro.hardware.noise import NoiseModel
 from repro.workloads.registry import get_benchmark
@@ -46,6 +47,7 @@ def success_curve(
     return curve
 
 
+@serializable
 @dataclass
 class SuccessComparison:
     """Fig 7 data for one benchmark: NA and SC curves side by side."""
@@ -107,6 +109,101 @@ def valid_sizes(benchmark: str, max_size: int, step: int = 5) -> List[int]:
     return sizes
 
 
+def _ladder_metrics_task(task: dict) -> Optional[ProgramMetrics]:
+    """Sweep-engine worker: compile one size-ladder rung, or None when
+    the size does not compile on the architecture (module-level and
+    picklable for spawn-based workers)."""
+    try:
+        return compiled_metrics(task["benchmark"], task["num_qubits"],
+                                task["arch"])
+    except CompilationError:
+        return None
+
+
+def _serial_ladder(
+    benchmark: str, arch: Architecture, sizes: Sequence[int]
+) -> List[ProgramMetrics]:
+    """Compile rungs in order, stopping at the first failure — no work
+    is spent past a size that cannot compile."""
+    ladder: List[ProgramMetrics] = []
+    for size in sizes:
+        metrics = _ladder_metrics_task(
+            {"benchmark": benchmark, "num_qubits": size, "arch": arch}
+        )
+        if metrics is None:
+            break
+        ladder.append(metrics)
+    return ladder
+
+
+def size_ladder_grid(
+    cells: Sequence[Tuple[str, Architecture, Sequence[int]]],
+    jobs: Optional[int] = None,
+) -> List[List[ProgramMetrics]]:
+    """Compile several size ladders through one sweep-engine fan-out.
+
+    ``cells`` is a sequence of ``(benchmark, arch, sizes)``; the result
+    holds one ladder per cell, each truncated at (excluding) its first
+    size that fails to compile — the serial break-at-first-error
+    semantics of :func:`largest_runnable_size` — so curves built from
+    the ladders are identical at any worker count.  Single-job runs keep
+    the short-circuit (nothing past a failing rung compiles); parallel
+    runs trade speculative compilation of later rungs for wall-clock,
+    and batching every cell into one ``run_tasks`` call pays the spawn
+    pool's startup once instead of per ladder.
+    """
+    from repro.api.session import current_session
+    from repro.exec.engine import run_tasks
+
+    if (jobs if jobs is not None else current_session().jobs) == 1:
+        return [_serial_ladder(benchmark, arch, sizes)
+                for benchmark, arch, sizes in cells]
+    tasks: List[dict] = []
+    spans = []
+    for benchmark, arch, sizes in cells:
+        start = len(tasks)
+        tasks.extend(
+            {"benchmark": benchmark, "num_qubits": size, "arch": arch}
+            for size in sizes
+        )
+        spans.append((start, len(tasks)))
+    results = run_tasks(_ladder_metrics_task, tasks, jobs=jobs)
+    ladders: List[List[ProgramMetrics]] = []
+    for start, end in spans:
+        ladder: List[ProgramMetrics] = []
+        for metrics in results[start:end]:
+            if metrics is None:
+                break
+            ladder.append(metrics)
+        ladders.append(ladder)
+    return ladders
+
+
+def size_ladder_metrics(
+    benchmark: str,
+    arch: Architecture,
+    sizes: Sequence[int],
+    jobs: Optional[int] = None,
+) -> List[ProgramMetrics]:
+    """One-cell convenience wrapper over :func:`size_ladder_grid`."""
+    return size_ladder_grid([(benchmark, arch, sizes)], jobs=jobs)[0]
+
+
+def largest_runnable_from(
+    ladder: Sequence[ProgramMetrics],
+    arch: Architecture,
+    two_qubit_error: float,
+    threshold: float = SIZE_THRESHOLD,
+) -> int:
+    """Fig 8's y-value from precompiled ladder metrics."""
+    noise = arch.noise(two_qubit_error=two_qubit_error)
+    best = 1
+    for metrics in ladder:
+        if metrics.success_rate(noise) >= threshold:
+            best = max(best, metrics.num_qubits)
+    return best
+
+
 def largest_runnable_size(
     benchmark: str,
     arch: Architecture,
@@ -117,18 +214,13 @@ def largest_runnable_size(
     """Fig 8's y-value: the largest size whose success beats ``threshold``.
 
     Returns 1 when even the smallest size fails (the paper's curves bottom
-    out at 1).
+    out at 1).  Repeated calls over the same sizes are cheap: the
+    compiles behind the ladder are memoized by ``compiled_metrics``.
     """
-    noise = arch.noise(two_qubit_error=two_qubit_error)
-    best = 1
-    for size in sizes:
-        try:
-            metrics = compiled_metrics(benchmark, size, arch)
-        except CompilationError:
-            break
-        if metrics.success_rate(noise) >= threshold:
-            best = max(best, metrics.num_qubits)
-    return best
+    return largest_runnable_from(
+        _serial_ladder(benchmark, arch, sizes), arch, two_qubit_error,
+        threshold,
+    )
 
 
 def size_curve(
@@ -137,10 +229,17 @@ def size_curve(
     errors: Sequence[float],
     sizes: Sequence[int],
     threshold: float = SIZE_THRESHOLD,
+    jobs: Optional[int] = None,
 ) -> List[Tuple[float, int]]:
-    """(two-qubit error, largest runnable size) pairs for Fig 8."""
+    """(two-qubit error, largest runnable size) pairs for Fig 8.
+
+    The size ladder compiles as one task grid over the sweep engine;
+    the per-error thresholding is then a cheap serial pass over the
+    in-memory metrics.
+    """
+    ladder = size_ladder_metrics(benchmark, arch, sizes, jobs=jobs)
     return [
-        (error, largest_runnable_size(benchmark, arch, error, sizes, threshold))
+        (error, largest_runnable_from(ladder, arch, error, threshold))
         for error in errors
     ]
 

@@ -1,0 +1,50 @@
+"""Public execution API: sessions, the experiment registry, and the
+structured result contract.
+
+This package is the seam between the reproduction's internals and
+anything that embeds it — the CLI, services, notebooks:
+
+* :class:`Session` — owns jobs / compile cache / RNG policy; replaces
+  the old process-wide ``set_jobs``/``set_cache_dir`` globals and lets
+  differently-configured runs coexist in one process;
+* :class:`ExperimentSpec` / :func:`all_experiments` — the declarative
+  registry every figure, ablation, and extension driver registers into;
+* :class:`ExperimentResult` — ``format()`` for the byte-stable figure
+  text plus ``to_dict()``/``from_dict()`` for schema-stable JSON.
+"""
+
+from repro.api.registry import (
+    ExperimentSpec,
+    ParamSpec,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.api.results import (
+    RESULT_SCHEMA,
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+)
+from repro.api.serialize import serializable
+from repro.api.session import (
+    Session,
+    current_session,
+    default_session,
+    install_default,
+)
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "RESULT_SCHEMA_VERSION",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ParamSpec",
+    "Session",
+    "all_experiments",
+    "current_session",
+    "default_session",
+    "get_experiment",
+    "install_default",
+    "register_experiment",
+    "serializable",
+]

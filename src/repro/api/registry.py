@@ -1,0 +1,147 @@
+"""Declarative experiment registry.
+
+Each figure / ablation / extension driver registers an
+:class:`ExperimentSpec` at import time: its CLI name, one-line doc, the
+``run()`` callable, the result type, a parameter schema derived from the
+runner's signature, and the ``--quick`` preset (formerly a dict buried
+in ``repro.__main__``).  The CLI, the :class:`repro.api.Session`
+execution API, and the JSON decoder all resolve experiments through
+this registry instead of hard-coded module tables.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Type
+
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
+
+_SPECS: Dict[str, "ExperimentSpec"] = {}
+_LOADED = False
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One keyword parameter of an experiment's ``run()``."""
+
+    name: str
+    #: The runner's default value; ``required`` marks parameters without one.
+    default: Any = None
+    required: bool = False
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one registered experiment."""
+
+    name: str
+    doc: str
+    runner: Callable[..., ExperimentResult]
+    result_type: Type[ExperimentResult]
+    #: Reduced keyword arguments for ``--quick`` runs.
+    quick: Mapping[str, Any] = field(default_factory=dict)
+    params: Tuple[ParamSpec, ...] = ()
+
+    def param_defaults(self) -> Dict[str, Any]:
+        """Parameter schema as ``{name: default}``."""
+        return {p.name: p.default for p in self.params}
+
+    def validate_params(self, overrides: Mapping[str, Any]) -> None:
+        known = {p.name for p in self.params}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise TypeError(
+                f"experiment {self.name!r} has no parameter(s) "
+                f"{', '.join(map(repr, unknown))}; "
+                f"valid: {', '.join(sorted(known))}"
+            )
+
+    def run(self, quick: bool = False, **overrides) -> ExperimentResult:
+        """Execute the driver with the quick preset and/or overrides."""
+        kwargs = dict(self.quick) if quick else {}
+        kwargs.update(overrides)
+        self.validate_params(kwargs)
+        return self.runner(**kwargs)
+
+
+def _params_from_signature(runner: Callable) -> Tuple[ParamSpec, ...]:
+    params = []
+    for parameter in inspect.signature(runner).parameters.values():
+        if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                              inspect.Parameter.VAR_KEYWORD):
+            continue
+        required = parameter.default is inspect.Parameter.empty
+        params.append(ParamSpec(
+            name=parameter.name,
+            default=None if required else parameter.default,
+            required=required,
+        ))
+    return tuple(params)
+
+
+def register_experiment(
+    name: str,
+    runner: Callable[..., ExperimentResult],
+    result_type: Type[ExperimentResult],
+    quick: Optional[Mapping[str, Any]] = None,
+    doc: Optional[str] = None,
+) -> ExperimentSpec:
+    """Register one experiment driver; called at driver-module import.
+
+    Derives the parameter schema from ``runner``'s signature, stamps
+    ``result_type.experiment_name``, and registers the result type for
+    tagged serialization.
+    """
+    if not (isinstance(result_type, type)
+            and issubclass(result_type, ExperimentResult)):
+        raise TypeError(
+            f"{result_type!r} must subclass ExperimentResult"
+        )
+    if doc is None:
+        module = sys.modules.get(runner.__module__)
+        module_doc = (getattr(module, "__doc__", "") or "").strip()
+        doc = module_doc.splitlines()[0] if module_doc else ""
+    spec = ExperimentSpec(
+        name=name,
+        doc=doc,
+        runner=runner,
+        result_type=result_type,
+        quick=dict(quick or {}),
+        params=_params_from_signature(runner),
+    )
+    spec.validate_params(spec.quick)
+    existing = _SPECS.get(name)
+    if existing is not None and existing.runner is not runner:
+        raise ValueError(f"experiment {name!r} already registered")
+    result_type.experiment_name = name
+    serializable(result_type)
+    _SPECS[name] = spec
+    return spec
+
+
+def ensure_loaded() -> None:
+    """Import the experiment package so every driver registers itself."""
+    global _LOADED
+    if not _LOADED:
+        import repro.experiments  # noqa: F401  (import side effect)
+        _LOADED = True
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    ensure_loaded()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; "
+            f"known: {', '.join(sorted(_SPECS))}"
+        ) from None
+
+
+def all_experiments() -> Dict[str, ExperimentSpec]:
+    """Every registered spec, keyed by name (insertion order)."""
+    ensure_loaded()
+    return dict(_SPECS)

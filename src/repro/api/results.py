@@ -1,0 +1,104 @@
+"""The common result contract every experiment driver returns.
+
+An :class:`ExperimentResult` renders the paper's figure text via
+``format()`` (unchanged from the original drivers) and additionally
+round-trips through a schema-stable JSON form:
+
+* ``to_dict()`` — a JSON-compatible envelope ``{"schema", "schema_version",
+  "experiment", "result_type", "data"}`` whose ``data`` is the tagged
+  encoding of the result dataclass (:mod:`repro.api.serialize`);
+* ``from_dict(payload)`` — reconstructs an equal result object, so
+  ``Result.from_dict(result.to_dict())`` is the identity.
+
+Every concrete result is a dataclass registered through
+:func:`repro.api.registry.register_experiment`, which stamps its
+experiment name and serializable registration; the default ``to_dict``
+and ``from_dict`` below therefore work for all of them without
+per-class code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+#: Envelope identifier — the JSON output contract's format marker.
+RESULT_SCHEMA = "repro.experiment-result"
+
+#: Bump when the envelope layout or tagged encoding changes shape.
+RESULT_SCHEMA_VERSION = 1
+
+
+class ExperimentResult:
+    """Base class (and protocol) for experiment result objects.
+
+    Subclasses are dataclasses; ``format()`` renders the figure text and
+    must stay byte-stable, while ``to_dict``/``from_dict`` expose the
+    same data programmatically.
+    """
+
+    #: Stamped by ``register_experiment`` — the registry name this
+    #: result type belongs to.
+    experiment_name: str = ""
+
+    def format(self) -> str:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement format()"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible envelope around the tagged result encoding."""
+        from repro.api.serialize import encode
+
+        if not dataclasses.is_dataclass(self):
+            raise TypeError(
+                f"{type(self).__name__} must be a dataclass to serialize"
+            )
+        return {
+            "schema": RESULT_SCHEMA,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment": type(self).experiment_name,
+            "result_type": type(self).__name__,
+            "data": encode(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Reconstruct a result from its ``to_dict`` envelope.
+
+        Callable on the base class (returns whatever registered type the
+        payload names) or on a concrete subclass (additionally enforces
+        that the payload is of that type).
+        """
+        from repro.api import registry
+        from repro.api.serialize import decode
+
+        if not isinstance(payload, dict):
+            raise TypeError(f"expected a result envelope dict, got "
+                            f"{type(payload).__name__}")
+        if payload.get("schema") != RESULT_SCHEMA:
+            raise ValueError(
+                f"not a {RESULT_SCHEMA} payload: "
+                f"schema={payload.get('schema')!r}"
+            )
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema version {version!r} "
+                f"(supported: {RESULT_SCHEMA_VERSION})"
+            )
+        # Decoding needs every result type registered, which happens when
+        # the experiment modules import.
+        registry.ensure_loaded()
+        result = decode(payload["data"])
+        if not isinstance(result, ExperimentResult):
+            raise ValueError(
+                f"payload decoded to {type(result).__name__}, which is "
+                "not an ExperimentResult"
+            )
+        if cls is not ExperimentResult and not isinstance(result, cls):
+            raise ValueError(
+                f"payload holds a {type(result).__name__}, not a "
+                f"{cls.__name__}"
+            )
+        return result

@@ -1,0 +1,116 @@
+"""Tagged JSON-safe encoding for experiment results.
+
+Experiment results are nested dataclasses whose fields mix tuples,
+tuple-keyed dicts, and numpy scalars — none of which survive a naive
+``json.dumps``/``loads`` round trip.  This module defines a small tagged
+encoding that does:
+
+* scalars (``None``/``bool``/``int``/``float``/``str``) pass through,
+  with numpy scalars coerced to their Python equivalents;
+* lists encode elementwise; tuples become ``{"__tuple__": [...]}``;
+* dicts with plain string keys encode as JSON objects, any other dict
+  becomes ``{"__map__": [[key, value], ...]}``;
+* registered dataclasses become ``{"__dc__": "ClassName", "fields":
+  {...}}`` and are reconstructed by calling the class with decoded
+  fields.
+
+Only dataclasses explicitly registered with :func:`serializable` can be
+encoded or decoded — the registry doubles as the schema whitelist, so a
+tampered payload cannot instantiate arbitrary types.  Because decoding
+reconstructs the same dataclasses with equal field values, ``decode``
+is a true inverse of ``encode`` for every registered result type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Type
+
+#: Tag keys reserved by the encoding.
+_TUPLE_TAG = "__tuple__"
+_MAP_TAG = "__map__"
+_DATACLASS_TAG = "__dc__"
+_RESERVED_KEYS = {_TUPLE_TAG, _MAP_TAG, _DATACLASS_TAG}
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def serializable(cls: Type) -> Type:
+    """Class decorator registering a dataclass for tagged encoding.
+
+    Registration is by class name, which therefore must be unique across
+    the library's serializable types.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    existing = _REGISTRY.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"serializable name collision: {cls.__name__!r} already "
+            f"registered by {existing.__module__}"
+        )
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def registered_types() -> Dict[str, Type]:
+    return dict(_REGISTRY)
+
+
+def encode(value: Any) -> Any:
+    """Encode ``value`` into JSON-compatible primitives (tagged form)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Fold numpy scalars into plain Python numbers without a hard numpy
+    # dependency: duck-type via the ``item`` method every numpy scalar
+    # exposes.  The ndim guard keeps ndarrays out — a size-1 array would
+    # otherwise silently collapse to a scalar and break the
+    # encode/decode inverse.
+    if (type(value).__module__ == "numpy" and hasattr(value, "item")
+            and getattr(value, "ndim", None) == 0):
+        item = value.item()
+        if isinstance(item, (bool, int, float, str)):
+            return item
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if _REGISTRY.get(name) is not type(value):
+            raise TypeError(
+                f"{type(value).__module__}.{name} is not registered as "
+                "@serializable"
+            )
+        fields = {
+            f.name: encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {_DATACLASS_TAG: name, "fields": fields}
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode(v) for v in value]}
+    if isinstance(value, list):
+        return [encode(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not (
+            _RESERVED_KEYS & set(value)
+        ):
+            return {k: encode(v) for k, v in value.items()}
+        return {_MAP_TAG: [[encode(k), encode(v)] for k, v in value.items()]}
+    raise TypeError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def decode(value: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if isinstance(value, dict):
+        if _DATACLASS_TAG in value:
+            name = value[_DATACLASS_TAG]
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise ValueError(f"unknown serializable type {name!r}")
+            fields = {k: decode(v) for k, v in value.get("fields", {}).items()}
+            return cls(**fields)
+        if _TUPLE_TAG in value:
+            return tuple(decode(v) for v in value[_TUPLE_TAG])
+        if _MAP_TAG in value:
+            return {decode(k): decode(v) for k, v in value[_MAP_TAG]}
+        return {k: decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode(v) for v in value]
+    return value

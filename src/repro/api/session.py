@@ -1,0 +1,160 @@
+"""Session-scoped execution policy.
+
+A :class:`Session` owns everything that used to live in process-wide
+module globals: the worker count for sweep grids, the (two-tier) compile
+cache, and the base RNG policy.  Two sessions with different
+configurations can coexist in one process — the prerequisite for
+embedding the repro as a library in a service:
+
+    from repro.api import Session
+
+    fast = Session(jobs=8, cache_dir="/var/cache/repro")
+    result = fast.run("fig10", quick=True)
+    print(result.format())          # or result.to_dict() for JSON
+
+Scoping uses a :mod:`contextvars` context variable, so ``activate()``
+nests correctly and is safe under asyncio/threaded callers: code running
+inside ``with session.activate():`` (including ``repro.exec.run_tasks``
+and every ``cached_compile``) resolves *that* session.  Outside any
+``activate()`` block, a lazily-constructed process **default session**
+applies — the legacy ``set_jobs``/``set_cache_dir`` shims mutate only
+that default.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterable, List, Optional
+
+from repro.exec.cache import CACHE_DIR_ENV, CompileCache
+
+_CURRENT: ContextVar[Optional["Session"]] = ContextVar(
+    "repro_current_session", default=None
+)
+_DEFAULT: Optional["Session"] = None
+
+
+class Session:
+    """One self-contained execution configuration.
+
+    ``jobs``
+        Worker-process count for sweep grids (default 1 = inline).
+    ``cache`` / ``cache_dir``
+        The compile cache this session's work goes through.  Pass an
+        existing :class:`CompileCache` to share a warm memory tier, or a
+        directory for a fresh cache with an on-disk tier (``None`` =
+        memory only).
+    ``seed``
+        Optional base RNG seed applied to experiments run through
+        :meth:`run` that accept an ``rng`` parameter; ``None`` keeps
+        each driver's own default, preserving historical output.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: Optional[CompileCache] = None,
+        seed: Optional[int] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache or cache_dir, not both")
+        self.jobs = int(jobs)
+        self.cache = cache if cache is not None else CompileCache(cache_dir)
+        self.seed = None if seed is None else int(seed)
+
+    # -- scoping -----------------------------------------------------------------------
+
+    @contextmanager
+    def activate(self):
+        """Make this the current session for the dynamic extent."""
+        token = _CURRENT.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run_tasks(
+        self, task_fn: Callable, tasks: Iterable, jobs: Optional[int] = None
+    ) -> List:
+        """Fan ``tasks`` over the sweep engine under this session."""
+        from repro.exec.engine import run_tasks
+
+        return run_tasks(task_fn, tasks, jobs=jobs, session=self)
+
+    def cached_compile(self, circuit, topology, config=None,
+                       persist: bool = True):
+        """``compile_circuit`` behind this session's compile cache."""
+        from repro.exec.cache import cached_compile
+
+        return cached_compile(
+            circuit, topology, config, persist=persist, cache=self.cache
+        )
+
+    def run(self, experiment: str, quick: bool = False, **params):
+        """Run a registered experiment under this session's policy.
+
+        Returns the driver's :class:`~repro.api.results.ExperimentResult`.
+        ``quick=True`` applies the spec's reduced-parameter preset;
+        keyword arguments override individual parameters.
+        """
+        from repro.api.registry import get_experiment
+
+        spec = get_experiment(experiment)
+        if (
+            self.seed is not None
+            and "rng" not in params
+            and any(p.name == "rng" for p in spec.params)
+        ):
+            params["rng"] = self.seed
+        with self.activate():
+            return spec.run(quick=quick, **params)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """This session's compile-cache counters (per-run, not global)."""
+        return self.cache.stats()
+
+    def __repr__(self) -> str:
+        where = self.cache.path or "memory"
+        return (f"Session(jobs={self.jobs}, cache={where!r}, "
+                f"seed={self.seed!r})")
+
+
+# -- current / default session resolution ------------------------------------------------
+
+
+def current_session() -> Session:
+    """The active session: innermost ``activate()``, else the default."""
+    active = _CURRENT.get()
+    return active if active is not None else default_session()
+
+
+def default_session() -> Session:
+    """The process default session (lazily built from the environment)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Session(
+            cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+        )
+    return _DEFAULT
+
+
+def install_default(session: Optional[Session]) -> Optional[Session]:
+    """Replace the process default session, returning the previous one.
+
+    ``None`` resets to "unconfigured": the next :func:`default_session`
+    call rebuilds from the environment.  Used by worker initializers
+    (to mirror the parent's cache policy) and test fixtures.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = session
+    return previous

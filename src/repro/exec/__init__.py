@@ -10,6 +10,12 @@ The subsystem has three parts:
 * :mod:`repro.exec.engine` — ``run_tasks``: fan a flat task list over a
   ``ProcessPoolExecutor`` with results returned in task order.
 
+Execution *policy* (worker count, which cache, RNG base) lives on
+:class:`repro.api.Session` objects; the engine and cache resolve the
+active session per call.  ``set_jobs``/``set_cache_dir``/``swap_cache``
+remain importable as deprecation shims that forward to the process
+default session.
+
 The invariant the whole package exists to uphold: **any worker count
 produces bitwise-identical results**, because every task's randomness is
 derived from its canonical key and compile artifacts are content-
@@ -22,6 +28,7 @@ from repro.exec.cache import (
     get_cache,
     get_cache_dir,
     set_cache_dir,
+    swap_cache,
 )
 from repro.exec.engine import (
     current_jobs,
@@ -49,6 +56,7 @@ __all__ = [
     "run_tasks",
     "set_cache_dir",
     "set_jobs",
+    "swap_cache",
     "sweep_settings",
     "task_grid",
     "task_key",

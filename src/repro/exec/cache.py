@@ -26,7 +26,8 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from typing import Optional
+import warnings
+from typing import List, Optional, Tuple
 
 from repro.circuits.circuit import Circuit
 from repro.core.config import CompilerConfig
@@ -94,7 +95,15 @@ class CompileCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             return None
-        return program if isinstance(program, CompiledProgram) else None
+        if not isinstance(program, CompiledProgram):
+            return None
+        try:
+            # Touch on hit so prune_disk evicts least-recently-used
+            # entries first.
+            os.utime(target)
+        except OSError:
+            pass
+        return program
 
     def _write_disk(self, key: str, program: CompiledProgram) -> None:
         target = self._file_for(key)
@@ -118,36 +127,159 @@ class CompileCache:
             # A read-only or full cache directory degrades to memory-only.
             pass
 
+    # -- disk-tier maintenance ---------------------------------------------------
 
-# -- process-global cache ----------------------------------------------------------
+    def disk_entries(self) -> List[Tuple[str, int, float]]:
+        """Every persisted entry as ``(path, bytes, mtime)``.
 
-_ACTIVE: Optional[CompileCache] = None
+        Skips in-flight temp files; a concurrently-deleted file is
+        silently dropped.
+        """
+        if self.path is None:
+            return []
+        entries = []
+        for dirpath, _, filenames in os.walk(self.path):
+            for name in filenames:
+                if not name.endswith(".pkl") or name.startswith(".tmp-"):
+                    continue
+                target = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(target)
+                except OSError:
+                    continue
+                entries.append((target, info.st_size, info.st_mtime))
+        return entries
+
+    def disk_stats(self) -> dict:
+        entries = self.disk_entries()
+        return {
+            "path": self.path,
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+        }
+
+    def _sweep_stale_temp_files(self, max_age_seconds: float) -> None:
+        """Remove ``.tmp-*`` leftovers from writers that died mid-write.
+
+        ``max_age_seconds`` guards against deleting a temp file a live
+        concurrent writer is still about to ``os.replace``.
+        """
+        import time
+
+        if self.path is None:
+            return
+        cutoff = time.time() - max_age_seconds
+        for dirpath, _, filenames in os.walk(self.path):
+            for name in filenames:
+                if not name.startswith(".tmp-"):
+                    continue
+                target = os.path.join(dirpath, name)
+                try:
+                    if os.stat(target).st_mtime <= cutoff:
+                        os.unlink(target)
+                except OSError:
+                    pass
+
+    def clear_disk(self) -> int:
+        """Delete every persisted entry (and any orphaned temp files);
+        returns the number of entries removed."""
+        removed = 0
+        for target, _, _ in self.disk_entries():
+            try:
+                os.unlink(target)
+                removed += 1
+            except OSError:
+                pass
+        self._sweep_stale_temp_files(max_age_seconds=0.0)
+        return removed
+
+    def prune_disk(self, max_bytes: int) -> dict:
+        """Evict least-recently-used entries until the tier fits
+        ``max_bytes``; returns ``{"removed", "remaining_entries",
+        "remaining_bytes"}``.
+
+        The in-memory tier is untouched (it dies with the process); only
+        the unbounded on-disk tier needs eviction.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        # Orphans from killed writers never become entries, so evicting
+        # only entries could leave the directory over budget forever.
+        self._sweep_stale_temp_files(max_age_seconds=3600.0)
+        entries = sorted(self.disk_entries(), key=lambda e: (e[2], e[0]))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for target, size, _ in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(target)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return {
+            "removed": removed,
+            "remaining_entries": len(entries) - removed,
+            "remaining_bytes": total,
+        }
+
+
+# -- session resolution and deprecation shims --------------------------------------
+
+# Execution state lives on repro.api.Session objects now.  The functions
+# below forward to the *current* session (reads) or mutate the process
+# *default* session (the deprecated writers), so legacy callers keep
+# working without reintroducing module-global mutable state.
 
 
 def get_cache() -> CompileCache:
-    global _ACTIVE
-    if _ACTIVE is None:
-        _ACTIVE = CompileCache(os.environ.get(CACHE_DIR_ENV) or None)
-    return _ACTIVE
+    """The current session's compile cache."""
+    from repro.api.session import current_session
+
+    return current_session().cache
 
 
 def set_cache_dir(path: Optional[str]) -> CompileCache:
-    """Point the process-global cache at ``path`` (None = memory only).
+    """Deprecated: repoint the *default session's* cache at ``path``.
 
-    Always starts from an empty memory tier; to restore a previous
-    cache *object* (warm tier and stats intact), use :func:`swap_cache`.
+    Prefer ``Session(cache_dir=...)``.  Always starts from an empty
+    memory tier, mirroring the historical behavior.
     """
-    global _ACTIVE
-    _ACTIVE = CompileCache(path)
-    return _ACTIVE
+    from repro.api.session import default_session
+
+    warnings.warn(
+        "repro.exec.cache.set_cache_dir is deprecated; configure a "
+        "repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    session = default_session()
+    session.cache = CompileCache(path)
+    return session.cache
 
 
 def swap_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
-    """Install ``cache`` as the process-global cache, returning the
-    previous one (which may be None if never initialized)."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = cache
+    """Deprecated: install ``cache`` on the *default session*, returning
+    the previous cache object (warm tier and stats intact).  Prefer
+    activating a dedicated ``Session``.
+
+    ``swap_cache(None)`` restores the historical "uninitialized" state:
+    a fresh cache rebuilt from ``REPRO_CACHE_DIR`` — it does NOT disable
+    the disk tier.
+    """
+    from repro.api.session import default_session
+
+    warnings.warn(
+        "repro.exec.cache.swap_cache is deprecated; activate a "
+        "repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    session = default_session()
+    previous = session.cache
+    session.cache = (cache if cache is not None
+                     else CompileCache(os.environ.get(CACHE_DIR_ENV) or None))
     return previous
 
 
@@ -163,14 +295,17 @@ def cached_compile(
     topology: Topology,
     config: Optional[CompilerConfig] = None,
     persist: bool = True,
+    cache: Optional[CompileCache] = None,
 ) -> CompiledProgram:
-    """``compile_circuit`` behind the process-global cache.
+    """``compile_circuit`` behind a compile cache.
 
-    ``persist=False`` keeps the result out of the cache entirely (the
-    lookup still runs) — used for mid-run recompilations against
-    transient hole patterns: their keys are almost never seen twice, so
-    storing them would only grow the memory tier and bloat the disk
-    store without ever producing a hit.
+    ``cache`` defaults to the current session's (see
+    :class:`repro.api.Session`); pass one explicitly to bypass session
+    resolution.  ``persist=False`` keeps the result out of the cache
+    entirely (the lookup still runs) — used for mid-run recompilations
+    against transient hole patterns: their keys are almost never seen
+    twice, so storing them would only grow the memory tier and bloat the
+    disk store without ever producing a hit.
     """
     from repro.core.compiler import compile_circuit
 
@@ -184,7 +319,8 @@ def cached_compile(
         # compilations share one key.
         config = config.with_mid(topology.max_interaction_distance)
 
-    cache = get_cache()
+    if cache is None:
+        cache = get_cache()
     key = compile_key(circuit, topology, config)
     program = cache.lookup(key)
     if program is None:

@@ -5,6 +5,12 @@ dicts (built with :func:`repro.exec.keys.task_grid`) plus a module-level
 task function; :func:`run_tasks` executes the list either inline
 (``jobs=1``) or fanned out over a spawn-context ``ProcessPoolExecutor``.
 
+Execution policy — worker count and compile cache — belongs to the
+active :class:`repro.api.Session`; ``run_tasks`` resolves it per call,
+so two differently-configured sessions can sweep concurrently in one
+process.  The legacy module-global setter (:func:`set_jobs`) survives
+only as a deprecation shim that mutates the process *default* session.
+
 Determinism contract: results are returned **in task order** regardless
 of completion order, and every stochastic task must derive its RNG seed
 from its canonical task key (:func:`repro.exec.keys.derive_seed`), never
@@ -14,90 +20,111 @@ from a shared sequential stream.  Under that contract ``jobs=1`` and
 The spawn context (rather than fork) is deliberate: workers start from a
 clean interpreter, so results cannot depend on whatever compile caches
 or RNG state the parent had accumulated — the same guarantee a fresh CLI
-run gets.  Workers inherit the parent's on-disk cache directory so all
+run gets.  Workers inherit the session's on-disk cache directory so all
 processes share compile work.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable, List, Optional
 
-from repro.exec import cache as _cache
-
-#: Process-global default worker count, set by the CLI's ``--jobs``.
-_JOBS = 1
-
 
 def set_jobs(jobs: int) -> None:
-    global _JOBS
+    """Deprecated: set the *default session's* worker count.
+
+    Prefer constructing a :class:`repro.api.Session` (or using
+    :func:`sweep_settings`) instead of mutating process state.
+    """
+    from repro.api.session import default_session
+
+    warnings.warn(
+        "repro.exec.engine.set_jobs is deprecated; configure a "
+        "repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    _JOBS = int(jobs)
+    default_session().jobs = int(jobs)
 
 
 def current_jobs() -> int:
-    return _JOBS
+    """The active session's worker count."""
+    from repro.api.session import current_session
+
+    return current_session().jobs
 
 
 @contextmanager
 def sweep_settings(jobs: Optional[int] = None,
                    cache_dir: Optional[str] = "__keep__"):
-    """Temporarily override the global jobs count and/or cache directory.
+    """Run a block under a temporary session override.
 
-    On exit the previous cache *object* is reinstated, warm memory tier
-    and stats included — the override is transparent to surrounding
-    code.
+    A convenience wrapper over ``Session(...).activate()``: ``jobs``
+    and/or ``cache_dir`` that are not given are inherited from the
+    current session — in particular ``cache_dir="__keep__"`` (the
+    default) *shares the current cache object*, warm memory tier and
+    stats included.  On exit the previous session is active again,
+    untouched.
     """
-    global _JOBS
-    saved_jobs = _JOBS
-    saved_cache = None
-    try:
-        if jobs is not None:
-            set_jobs(jobs)
-        if cache_dir != "__keep__":
-            saved_cache = _cache.swap_cache(_cache.CompileCache(cache_dir))
-        yield
-    finally:
-        _JOBS = saved_jobs
-        if cache_dir != "__keep__":
-            _cache.swap_cache(saved_cache)
+    from repro.api.session import Session, current_session
+    from repro.exec.cache import CompileCache
+
+    base = current_session()
+    cache = (base.cache if cache_dir == "__keep__"
+             else CompileCache(cache_dir))
+    overlay = Session(jobs=base.jobs if jobs is None else jobs, cache=cache)
+    with overlay.activate():
+        yield overlay
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
-    # Mirror the parent's cache state exactly — including "disabled".
-    # A worker must not fall back to REPRO_CACHE_DIR from the inherited
-    # environment when the parent explicitly runs without a disk cache.
-    _cache.set_cache_dir(cache_dir)
+    # Mirror the parent session's cache policy exactly — including
+    # "disabled".  A worker must not fall back to REPRO_CACHE_DIR from
+    # the inherited environment when the parent session explicitly runs
+    # without a disk cache.
+    from repro.api.session import Session, install_default
+
+    install_default(Session(jobs=1, cache_dir=cache_dir))
 
 
 def run_tasks(
     task_fn: Callable,
     tasks: Iterable,
     jobs: Optional[int] = None,
+    session=None,
 ) -> List:
     """Run ``task_fn`` over every task, returning results in task order.
 
     ``task_fn`` must be a module-level callable and each task picklable
     when ``jobs > 1`` (spawn-based workers re-import the module).  A task
-    raising an exception propagates it to the caller.
+    raising an exception propagates it to the caller.  ``session``
+    defaults to the active :class:`repro.api.Session`, which supplies
+    the default worker count and the cache directory workers share.
     """
+    from repro.api.session import current_session
+
+    if session is None:
+        session = current_session()
     tasks = list(tasks)
     if jobs is None:
-        jobs = current_jobs()
+        jobs = session.jobs
     jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1
 
     if jobs == 1:
-        return [task_fn(task) for task in tasks]
+        with session.activate():
+            return [task_fn(task) for task in tasks]
 
     context = multiprocessing.get_context("spawn")
     pool = ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=context,
         initializer=_worker_init,
-        initargs=(_cache.get_cache_dir(),),
+        initargs=(session.cache.path,),
     )
     try:
         futures = [pool.submit(task_fn, task) for task in tasks]

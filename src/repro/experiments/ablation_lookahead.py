@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.topology import Topology
@@ -24,6 +27,7 @@ WINDOWS = (1, 3, 10, 20)
 DECAYS = (0.5, 1.0, 2.0)
 
 
+@serializable
 @dataclass(frozen=True)
 class LookaheadPoint:
     benchmark: str
@@ -36,7 +40,7 @@ class LookaheadPoint:
 
 
 @dataclass
-class LookaheadResult:
+class LookaheadResult(ExperimentResult):
     points: List[LookaheadPoint] = field(default_factory=list)
 
     def select(self, benchmark: str, mid: float, window: int,
@@ -105,6 +109,14 @@ def run(
                         )
                     )
     return result
+
+
+SPEC = register_experiment(
+    name="ablation-lookahead",
+    runner=run,
+    result_type=LookaheadResult,
+    quick=dict(program_size=20),
+)
 
 
 def main() -> None:

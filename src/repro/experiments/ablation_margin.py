@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.core.config import CompilerConfig
 from repro.hardware.noise import NoiseModel
 from repro.loss.strategies.compile_small import CompileSmallReroute
@@ -31,6 +34,7 @@ from repro.workloads.registry import build_circuit
 GRID_SIDE = 10
 
 
+@serializable
 @dataclass(frozen=True)
 class MarginPoint:
     margin: float
@@ -41,7 +45,7 @@ class MarginPoint:
 
 
 @dataclass
-class MarginResult:
+class MarginResult(ExperimentResult):
     benchmark: str = ""
     true_mid: float = 0.0
     points: List[MarginPoint] = field(default_factory=list)
@@ -115,6 +119,14 @@ def run(
             )
         )
     return result
+
+
+SPEC = register_experiment(
+    name="ablation-margin",
+    runner=run,
+    result_type=MarginResult,
+    quick=dict(program_size=20, trials=2, margins=(1.0, 2.0)),
+)
 
 
 def main() -> None:

@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.topology import Topology
@@ -28,6 +31,7 @@ RADIUS_FUNCTIONS = ("none", "half", "full")
 ZONE_SCALES = (1.0, 1.5, 2.0)
 
 
+@serializable
 @dataclass(frozen=True)
 class ZoneAblationPoint:
     benchmark: str
@@ -40,7 +44,7 @@ class ZoneAblationPoint:
 
 
 @dataclass
-class ZoneAblationResult:
+class ZoneAblationResult(ExperimentResult):
     points: List[ZoneAblationPoint] = field(default_factory=list)
 
     def select(
@@ -102,6 +106,14 @@ def run(
                     )
                 )
     return result
+
+
+SPEC = register_experiment(
+    name="ablation-zones",
+    runner=run,
+    result_type=ZoneAblationResult,
+    quick=dict(benchmarks=("qaoa",), program_size=20),
+)
 
 
 def main() -> None:

@@ -20,6 +20,7 @@ from repro.analysis.architectures import (
     prewarm_metrics,
     savings_points,
 )
+from repro.api.serialize import serializable
 from repro.analysis.success import valid_sizes
 from repro.workloads.registry import BENCHMARK_ORDER
 
@@ -63,6 +64,7 @@ def std(values: Sequence[float]) -> float:
     return (sum((v - center) ** 2 for v in values) / (len(values) - 1)) ** 0.5
 
 
+@serializable
 @dataclass
 class SavingsRow:
     """One bar of a Fig 3/4-style chart: mean % savings vs the MID-1 baseline."""

@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.topology import Topology
@@ -25,7 +27,7 @@ from repro.workloads.registry import build_circuit
 
 
 @dataclass
-class ScalingResult:
+class ScalingResult(ExperimentResult):
     #: grid side -> [(mid, gate count)].
     curves: Dict[int, List[Tuple[float, int]]] = field(default_factory=dict)
     #: grid side -> smallest MID within tolerance of the minimum.
@@ -78,6 +80,14 @@ def run(
                 result.saturation_mid[side] = mid
                 break
     return result
+
+
+SPEC = register_experiment(
+    name="ext-scaling",
+    runner=run,
+    result_type=ScalingResult,
+    quick=dict(grid_sides=(6, 10)),
+)
 
 
 def main() -> None:

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
 from repro.hardware.loss import LossModel
 from repro.hardware.noise import NoiseModel
@@ -29,7 +31,7 @@ MID = 4.0
 
 
 @dataclass
-class EjectionResult:
+class EjectionResult(ExperimentResult):
     #: (program size label, strategy) -> run result.
     runs: Dict[Tuple[int, str], RunResult] = field(default_factory=dict)
 
@@ -81,6 +83,14 @@ def run(
                 max_shots=shots
             )
     return result
+
+
+SPEC = register_experiment(
+    name="ext-ejection",
+    runner=run,
+    result_type=EjectionResult,
+    quick=dict(shots=60),
+)
 
 
 def main() -> None:

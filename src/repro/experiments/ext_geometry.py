@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.grid import Grid
@@ -21,6 +24,7 @@ from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
 
 
+@serializable
 @dataclass(frozen=True)
 class GeometryPoint:
     benchmark: str
@@ -33,7 +37,7 @@ class GeometryPoint:
 
 
 @dataclass
-class GeometryResult:
+class GeometryResult(ExperimentResult):
     points: List[GeometryPoint] = field(default_factory=list)
 
     def select(self, benchmark: str, shape: str, mid: float) -> GeometryPoint:
@@ -102,6 +106,14 @@ def run(
                     )
                 )
     return result
+
+
+SPEC = register_experiment(
+    name="ext-geometry",
+    runner=run,
+    result_type=GeometryResult,
+    quick=dict(benchmarks=("bv",), grid_side=5),
+)
 
 
 def main() -> None:

@@ -31,6 +31,8 @@ from repro.analysis.architectures import (
     trapped_ion_arch,
 )
 from repro.analysis.metrics import ProgramMetrics
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.utils.textplot import format_table
 from repro.workloads.registry import BENCHMARK_ORDER
 
@@ -38,7 +40,7 @@ ARCH_ORDER = ("na", "sc", "ti")
 
 
 @dataclass
-class ThreeWayResult:
+class ThreeWayResult(ExperimentResult):
     #: (benchmark, arch key) -> metrics.
     cells: Dict[Tuple[str, str], ProgramMetrics] = field(default_factory=dict)
     #: (benchmark, arch key) -> (duration seconds, success rate).
@@ -95,6 +97,14 @@ def run(
                 metrics.success_rate(noise),
             )
     return result
+
+
+SPEC = register_experiment(
+    name="ext-trapped-ion",
+    runner=run,
+    result_type=ThreeWayResult,
+    quick=dict(benchmarks=("bv", "cnu", "qaoa"), program_size=20),
+)
 
 
 def main() -> None:

@@ -12,12 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.hardware.noise import NoiseModel
 from repro.sim.noisy import sample_noisy_shots
 from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
 
 
+@serializable
 @dataclass(frozen=True)
 class NoisyValidationRow:
     benchmark: str
@@ -33,7 +37,7 @@ class NoisyValidationRow:
 
 
 @dataclass
-class NoisyValidationResult:
+class NoisyValidationResult(ExperimentResult):
     rows: List[NoisyValidationRow] = field(default_factory=list)
 
     @property
@@ -84,6 +88,14 @@ def run(
                 )
             )
     return result
+
+
+SPEC = register_experiment(
+    name="ext-noisy-validation",
+    runner=run,
+    result_type=NoisyValidationResult,
+    quick=dict(shots=150),
+)
 
 
 def main() -> None:

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
 from repro.exec.keys import derive_seed, task_key
 from repro.loss.strategies import STRATEGY_ORDER, make_strategy
@@ -29,7 +31,7 @@ PROGRAM_SIZE = 30
 
 
 @dataclass
-class Fig10Result:
+class Fig10Result(ExperimentResult):
     #: (benchmark, strategy, mid) -> tolerance result.
     cells: Dict[Tuple[str, str, float], ToleranceResult] = field(
         default_factory=dict
@@ -115,6 +117,14 @@ def run(
     for task, cell in zip(tasks, run_tasks(_tolerance_task, tasks, jobs=jobs)):
         result.cells[(task["benchmark"], task["strategy"], task["mid"])] = cell
     return result
+
+
+SPEC = register_experiment(
+    name="fig10",
+    runner=run,
+    result_type=Fig10Result,
+    quick=dict(mids=(2.0, 3.0), program_size=20, trials=2),
+)
 
 
 def main() -> None:

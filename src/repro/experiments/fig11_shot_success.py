@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import ProgramMetrics
 from repro.analysis.success import calibrate_two_qubit_error
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
 from repro.exec.keys import derive_seed, task_key
 from repro.hardware.noise import NoiseModel
@@ -33,7 +35,7 @@ TARGET_BASE_SUCCESS = 0.6
 
 
 @dataclass
-class Fig11Result:
+class Fig11Result(ExperimentResult):
     #: (benchmark, strategy, mid) -> [success after h holes, h = 0..N].
     traces: Dict[Tuple[str, str, float], List[float]] = field(
         default_factory=dict
@@ -163,6 +165,15 @@ def run(
             (task["benchmark"], task["strategy"], task["mid"])
         ] = averaged
     return result
+
+
+SPEC = register_experiment(
+    name="fig11",
+    runner=run,
+    result_type=Fig11Result,
+    quick=dict(benchmarks=("cnu",), mids=(3.0,), max_holes=10,
+               program_size=20, trials=2),
+)
 
 
 def main() -> None:

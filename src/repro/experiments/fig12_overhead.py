@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
 from repro.exec.cache import cached_compile
 from repro.exec.keys import derive_seed, task_key
@@ -40,7 +42,7 @@ FIG12_MIDS = (2.0, 3.0, 4.0, 5.0, 6.0)
 
 
 @dataclass
-class Fig12Result:
+class Fig12Result(ExperimentResult):
     #: (strategy, mid) -> run result.
     runs: Dict[Tuple[str, float], RunResult] = field(default_factory=dict)
     #: Wall-clock compile seconds of one full recompilation, for the
@@ -161,6 +163,14 @@ def run(
     ):
         result.runs[(name, mid)] = run_result
     return result
+
+
+SPEC = register_experiment(
+    name="fig12",
+    runner=run,
+    result_type=Fig12Result,
+    quick=dict(mids=(3.0, 4.0), shots=120, program_size=20),
+)
 
 
 def main() -> None:

@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.exec.keys import derive_seed, task_key
 from repro.hardware.loss import LossModel
 from repro.loss.runner import ShotSpec, run_shot_specs
@@ -32,7 +34,7 @@ def improvement_factors(points: int = 7) -> List[float]:
 
 
 @dataclass
-class Fig13Result:
+class Fig13Result(ExperimentResult):
     #: (mid, factor) -> mean successful shots between reloads.
     shots_before_reload: Dict[Tuple[float, float], float] = field(
         default_factory=dict
@@ -95,6 +97,15 @@ def run(
             run_result.mean_shots_between_reloads
         )
     return result
+
+
+SPEC = register_experiment(
+    name="fig13",
+    runner=run,
+    result_type=Fig13Result,
+    quick=dict(mids=(4.0,), factors=(1.0, 10.0), shots_per_run=150,
+               program_size=20),
+)
 
 
 def main() -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
 from repro.hardware.loss import LossModel
 from repro.hardware.noise import NoiseModel
@@ -28,7 +30,7 @@ TARGET_SHOTS = 20
 
 
 @dataclass
-class Fig14Result:
+class Fig14Result(ExperimentResult):
     run_result: RunResult = None
 
     def format(self) -> str:
@@ -74,6 +76,14 @@ def run(
     run_result = runner.run(max_shots=100 * target_shots,
                             target_successful=target_shots)
     return Fig14Result(run_result=run_result)
+
+
+SPEC = register_experiment(
+    name="fig14",
+    runner=run,
+    result_type=Fig14Result,
+    quick=dict(target_shots=10, program_size=20),
+)
 
 
 def main() -> None:

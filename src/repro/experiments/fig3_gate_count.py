@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.experiments.common import (
     SavingsRow,
     all_benchmarks,
@@ -27,7 +29,7 @@ from repro.utils.textplot import format_series, format_table, percent
 
 
 @dataclass
-class Fig3Result:
+class Fig3Result(ExperimentResult):
     """Bar rows (savings per benchmark x MID) plus the BV line series."""
 
     bars: List[SavingsRow] = field(default_factory=list)
@@ -107,6 +109,15 @@ def run(
             series.append((mid, metrics.gate_count))
         result.bv_series[size] = series
     return result
+
+
+SPEC = register_experiment(
+    name="fig3",
+    runner=run,
+    result_type=Fig3Result,
+    quick=dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
+               bv_line_sizes=(15, 27)),
+)
 
 
 def main() -> None:

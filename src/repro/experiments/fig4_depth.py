@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.experiments.common import (
     SavingsRow,
     all_benchmarks,
@@ -25,7 +27,7 @@ from repro.utils.textplot import format_series, format_table, percent
 
 
 @dataclass
-class Fig4Result:
+class Fig4Result(ExperimentResult):
     bars: List[SavingsRow] = field(default_factory=list)
     #: QFT-Adder depth by size: {size: [(mid, depth), ...]}.
     qft_series: Dict[int, List[Tuple[float, int]]] = field(default_factory=dict)
@@ -97,6 +99,15 @@ def run(
             series.append((mid, metrics.depth))
         result.qft_series[size] = series
     return result
+
+
+SPEC = register_experiment(
+    name="fig4",
+    runner=run,
+    result_type=Fig4Result,
+    quick=dict(max_size=30, size_step=10, mids=(2.0, 3.0, 5.0),
+               qft_line_sizes=(10, 26)),
+)
 
 
 def main() -> None:

@@ -14,6 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.experiments.common import (
     all_benchmarks,
     default_sizes,
@@ -25,6 +28,7 @@ from repro.experiments.common import (
 from repro.utils.textplot import format_series, format_table, percent
 
 
+@serializable
 @dataclass
 class SerializationRow:
     benchmark: str
@@ -34,7 +38,7 @@ class SerializationRow:
 
 
 @dataclass
-class Fig5Result:
+class Fig5Result(ExperimentResult):
     bars: List[SerializationRow] = field(default_factory=list)
     #: QAOA depth by size: {size: [(mid, depth_zones, depth_ideal), ...]}.
     qaoa_series: Dict[int, List[Tuple[float, int, int]]] = field(
@@ -133,6 +137,15 @@ def run(
             series.append((mid, zoned, ideal))
         result.qaoa_series[size] = series
     return result
+
+
+SPEC = register_experiment(
+    name="fig5",
+    runner=run,
+    result_type=Fig5Result,
+    quick=dict(max_size=24, size_step=8, mids=(2.0, 3.0),
+               qaoa_line_sizes=(16,)),
+)
 
 
 def main() -> None:

@@ -17,10 +17,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.experiments.common import mids_or_default, na_arch_for_mid
 from repro.utils.textplot import format_table
 
 
+@serializable
 @dataclass(frozen=True)
 class MultiqubitPoint:
     benchmark: str
@@ -41,7 +45,7 @@ class MultiqubitPoint:
 
 
 @dataclass
-class Fig6Result:
+class Fig6Result(ExperimentResult):
     points: List[MultiqubitPoint] = field(default_factory=list)
 
     def format(self) -> str:
@@ -105,6 +109,14 @@ def run(
                     )
                 )
     return result
+
+
+SPEC = register_experiment(
+    name="fig6",
+    runner=run,
+    result_type=Fig6Result,
+    quick=dict(sizes=(16, 30), mids=(2.0, 3.0)),
+)
 
 
 def main() -> None:

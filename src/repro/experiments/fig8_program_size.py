@@ -13,7 +13,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.architectures import neutral_atom_arch, superconducting_arch
-from repro.analysis.success import error_sweep, size_curve, valid_sizes
+from repro.analysis.success import (
+    error_sweep,
+    largest_runnable_from,
+    size_ladder_grid,
+    valid_sizes,
+)
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
 from repro.experiments.common import all_benchmarks
 from repro.utils.textplot import format_series
 
@@ -21,7 +28,7 @@ NA_MID = 3.0
 
 
 @dataclass
-class Fig8Result:
+class Fig8Result(ExperimentResult):
     #: benchmark -> (na_curve, sc_curve), each [(error, largest size)].
     curves: Dict[str, Tuple[List[Tuple[float, int]], List[Tuple[float, int]]]] = (
         field(default_factory=dict)
@@ -54,23 +61,43 @@ def run(
     size_step: int = 10,
     na_mid: float = NA_MID,
     error_points: int = 13,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
     """Regenerate Fig 8.
 
     The full paper grid (sizes to 100 in fine steps) takes minutes; the
-    defaults use a coarser size grid with the same shape.
+    defaults use a coarser size grid with the same shape.  Every
+    (benchmark x architecture x size) compile fans out as ONE task grid
+    over the sweep engine — a single pool spin-up — and thresholding
+    per error rate is then serial and cheap.
     """
     benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
     na = neutral_atom_arch(mid=na_mid, native_max_arity=3)
     sc = superconducting_arch()
     errors = error_sweep(error_points)
     result = Fig8Result()
-    for benchmark in benchmarks:
-        sizes = valid_sizes(benchmark, max_size, size_step)
-        na_curve = size_curve(benchmark, na, errors, sizes)
-        sc_curve = size_curve(benchmark, sc, errors, sizes)
-        result.curves[benchmark] = (na_curve, sc_curve)
+    cells = [
+        (benchmark, arch, valid_sizes(benchmark, max_size, size_step))
+        for benchmark in benchmarks
+        for arch in (na, sc)
+    ]
+    ladders = size_ladder_grid(cells, jobs=jobs)
+    for benchmark, (na_ladder, sc_ladder) in zip(
+        benchmarks, zip(ladders[0::2], ladders[1::2])
+    ):
+        result.curves[benchmark] = (
+            [(e, largest_runnable_from(na_ladder, na, e)) for e in errors],
+            [(e, largest_runnable_from(sc_ladder, sc, e)) for e in errors],
+        )
     return result
+
+
+SPEC = register_experiment(
+    name="fig8",
+    runner=run,
+    result_type=Fig8Result,
+    quick=dict(max_size=30, size_step=10, error_points=9),
+)
 
 
 def main() -> None:

@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.api.registry import register_experiment
+from repro.api.results import ExperimentResult
+from repro.api.serialize import serializable
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.core.validation import check_compiled
@@ -26,6 +29,7 @@ from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
 
 
+@serializable
 @dataclass
 class ValidationRow:
     benchmark: str
@@ -38,7 +42,7 @@ class ValidationRow:
 
 
 @dataclass
-class ValidationResult:
+class ValidationResult(ExperimentResult):
     rows: List[ValidationRow] = field(default_factory=list)
 
     @property
@@ -90,6 +94,13 @@ def run() -> ValidationResult:
             )
         )
     return result
+
+
+SPEC = register_experiment(
+    name="validation",
+    runner=run,
+    result_type=ValidationResult,
+)
 
 
 def main() -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.serialize import serializable
 from repro.circuits.circuit import Circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.loss import LossModel
@@ -34,6 +35,7 @@ from repro.loss.timeline import TimelineEvent, totals_by_kind
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@serializable
 @dataclass
 class RunResult:
     """Everything measured over one batch of shots."""

@@ -154,14 +154,15 @@ class CopingStrategy(ABC):
     ) -> CompiledProgram:
         """Default: compile at the topology's full interaction distance.
 
-        Routed through the persistent compile cache: every strategy (and
-        every sweep worker) asking for the same pristine-grid compilation
-        shares one artifact.  Cached programs are shared — strategies must
-        replace ``self.program``, never mutate it.
+        Routed through the active session's compile cache: every
+        strategy (and every sweep worker) asking for the same
+        pristine-grid compilation shares one artifact.  Cached programs
+        are shared — strategies must replace ``self.program``, never
+        mutate it.
         """
-        from repro.exec.cache import cached_compile
+        from repro.api.session import current_session
 
-        return cached_compile(circuit, topology, config)
+        return current_session().cached_compile(circuit, topology, config)
 
     def _reset_adaptation(self) -> None:
         """Clear any adaptation state (virtual maps, fixups)."""

@@ -10,10 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
+from repro.api.serialize import serializable
+
 #: Event kinds, in the paper's legend order.
 EVENT_KINDS = ("compile", "run", "fluorescence", "fixup", "reload")
 
 
+@serializable
 @dataclass(frozen=True)
 class TimelineEvent:
     """One contiguous activity segment."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.serialize import serializable
 from repro.circuits.circuit import Circuit
 from repro.core.config import CompilerConfig
 from repro.hardware.topology import Topology
@@ -25,6 +26,7 @@ from repro.loss.strategies.base import CopingStrategy
 from repro.utils.rng import RngLike, ensure_rng
 
 
+@serializable
 @dataclass
 class ToleranceResult:
     """Loss tolerance of one (strategy, program, device) combination."""

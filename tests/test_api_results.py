@@ -1,0 +1,118 @@
+"""JSON round-trip coverage for every registered experiment result.
+
+For each of the 20 registry entries: run the driver at miniature
+parameters, serialize through ``to_dict`` -> ``json.dumps`` ->
+``json.loads`` -> ``from_dict``, and require the reconstruction to be
+*equal* — same dataclass value, same ``format()`` text, same re-encoded
+payload.  This is the schema-stability contract behind
+``python -m repro run <x> --format json``.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentResult,
+    RESULT_SCHEMA,
+    RESULT_SCHEMA_VERSION,
+    Session,
+    all_experiments,
+)
+
+#: Miniature parameters per experiment — smaller than --quick, sized so
+#: the whole module stays fast while still exercising every field of
+#: every result type.
+TINY_PARAMS = {
+    "fig3": dict(benchmarks=("bv",), mids=(2.0,), max_size=16, size_step=8,
+                 bv_line_sizes=(15,)),
+    "fig4": dict(benchmarks=("bv",), mids=(2.0,), max_size=16, size_step=8,
+                 qft_line_sizes=(10,)),
+    "fig5": dict(benchmarks=("bv",), mids=(2.0,), max_size=16, size_step=8,
+                 qaoa_line_sizes=(12,)),
+    "fig6": dict(sizes=(12,), mids=(2.0,)),
+    "fig7": dict(benchmarks=("bv",), program_size=12, error_points=5),
+    "fig8": dict(benchmarks=("bv",), max_size=16, size_step=8,
+                 error_points=5),
+    "fig10": dict(benchmarks=("cnu",), mids=(2.0,), program_size=12,
+                  trials=1),
+    "fig11": dict(benchmarks=("cnu",), strategies=("reroute",), mids=(2.0,),
+                  max_holes=4, program_size=12, trials=1),
+    "fig12": dict(strategies=("always reload",), mids=(3.0,), shots=30,
+                  program_size=12),
+    "fig13": dict(mids=(3.0,), factors=(1.0,), shots_per_run=40,
+                  program_size=12),
+    "fig14": dict(program_size=12, target_shots=3),
+    "validation": dict(),
+    "ablation-zones": dict(benchmarks=("qaoa",), program_size=10,
+                           zone_scales=(1.0,)),
+    "ablation-lookahead": dict(benchmarks=("bv",), mids=(1.0,),
+                               program_size=10, windows=(1, 3)),
+    "ablation-margin": dict(program_size=12, trials=1, margins=(1.0,)),
+    "ext-ejection": dict(sizes=(10,), strategies=("always reload",),
+                         shots=30),
+    "ext-scaling": dict(grid_sides=(5,)),
+    "ext-trapped-ion": dict(benchmarks=("bv",), program_size=10),
+    "ext-geometry": dict(benchmarks=("bv",), grid_side=4, mids=(2.0,)),
+    "ext-noisy-validation": dict(benchmarks=("bv",), program_size=6,
+                                 errors=(0.01,), shots=100),
+}
+
+
+def test_tiny_params_cover_every_experiment():
+    assert set(TINY_PARAMS) == set(all_experiments())
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.mark.parametrize("name", sorted(TINY_PARAMS))
+def test_json_round_trip(name, session):
+    spec = all_experiments()[name]
+    result = session.run(name, **TINY_PARAMS[name])
+    assert isinstance(result, spec.result_type)
+
+    payload = result.to_dict()
+    assert payload["schema"] == RESULT_SCHEMA
+    assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+    assert payload["experiment"] == name
+    assert payload["result_type"] == spec.result_type.__name__
+
+    # Through actual JSON text, not just dict identity.
+    wire = json.dumps(payload, sort_keys=True)
+    decoded = ExperimentResult.from_dict(json.loads(wire))
+
+    assert type(decoded) is spec.result_type
+    assert decoded == result
+    assert decoded.format() == result.format()
+    assert decoded.to_dict() == payload
+    # The typed classmethod enforces its own type.
+    assert spec.result_type.from_dict(json.loads(wire)) == result
+
+
+def test_from_dict_rejects_wrong_type():
+    from repro.experiments.fig3_gate_count import Fig3Result
+    from repro.experiments.validation import ValidationResult
+
+    payload = Session().run("validation").to_dict()
+    assert isinstance(ValidationResult.from_dict(payload), ValidationResult)
+    with pytest.raises(ValueError, match="not a Fig3Result"):
+        Fig3Result.from_dict(payload)
+
+
+def test_from_dict_rejects_foreign_schema():
+    with pytest.raises(ValueError, match="not a repro.experiment-result"):
+        ExperimentResult.from_dict({"schema": "something-else", "data": {}})
+    with pytest.raises(ValueError, match="schema version"):
+        ExperimentResult.from_dict(
+            {"schema": RESULT_SCHEMA, "schema_version": 999, "data": {}}
+        )
+
+
+def test_unregistered_dataclass_cannot_decode():
+    from repro.api.serialize import decode
+
+    with pytest.raises(ValueError, match="unknown serializable type"):
+        decode({"__dc__": "TotallyMadeUp", "fields": {}})

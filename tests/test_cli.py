@@ -1,0 +1,175 @@
+"""CLI regression tests (python -m repro).
+
+The load-bearing assertions: ``run <x> --quick --format text`` is
+byte-identical to the pre-session-API fixtures captured from the seed
+CLI (tests/fixtures/), at any ``--jobs`` value, and ``--format json``
+emits a parseable envelope that round-trips through
+``ExperimentResult.from_dict``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import ExperimentResult, all_experiments
+from repro.api.session import install_default
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_session():
+    saved = install_default(None)
+    yield
+    install_default(saved)
+
+
+def _fixture(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def _run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestTextRegression:
+    """--format text must be byte-identical to the seed CLI output."""
+
+    def test_validation_quick_matches_seed_fixture(self, capsys):
+        out = _run_cli(capsys, "run", "validation", "--quick", "--no-cache")
+        assert out == _fixture("validation_quick.txt")
+
+    def test_fig3_quick_matches_seed_fixture(self, capsys):
+        out = _run_cli(capsys, "run", "fig3", "--quick", "--no-cache")
+        assert out == _fixture("fig3_quick.txt")
+
+    def test_fig10_quick_matches_seed_fixture(self, capsys):
+        out = _run_cli(capsys, "run", "fig10", "--quick", "--no-cache")
+        assert out == _fixture("fig10_quick.txt")
+
+    def test_fig10_quick_identical_at_jobs_2(self, capsys, tmp_path):
+        """The acceptance criterion: byte-identical at any --jobs."""
+        out = _run_cli(capsys, "run", "fig10", "--quick",
+                       "--jobs", "2", "--cache-dir", str(tmp_path))
+        assert out == _fixture("fig10_quick.txt")
+
+    def test_explicit_format_text_flag(self, capsys):
+        out = _run_cli(capsys, "run", "validation", "--quick",
+                       "--format", "text", "--no-cache")
+        assert out == _fixture("validation_quick.txt")
+
+
+class TestJsonOutput:
+    def test_json_parses_and_round_trips(self, capsys):
+        out = _run_cli(capsys, "run", "validation", "--quick",
+                       "--format", "json", "--no-cache")
+        payload = json.loads(out)
+        result = ExperimentResult.from_dict(payload)
+        # The decoded object renders the same text the text mode prints.
+        assert result.format() + "\n\n" == _fixture("validation_quick.txt")
+
+    def test_json_envelope_fields(self, capsys):
+        payload = json.loads(_run_cli(
+            capsys, "run", "fig10", "--quick", "--format", "json",
+            "--no-cache"))
+        assert payload["experiment"] == "fig10"
+        assert payload["result_type"] == "Fig10Result"
+        decoded = ExperimentResult.from_dict(payload)
+        assert decoded.format() + "\n\n" == _fixture("fig10_quick.txt")
+
+    def test_out_writes_file_and_keeps_stdout_clean(self, capsys, tmp_path):
+        target = tmp_path / "validation.json"
+        out = _run_cli(capsys, "run", "validation", "--quick",
+                       "--format", "json", "--out", str(target),
+                       "--no-cache")
+        assert out == ""
+        payload = json.loads(target.read_text())
+        assert ExperimentResult.from_dict(payload).format()
+
+    def test_out_text_mode_is_byte_identical_to_stdout(self, capsys,
+                                                       tmp_path):
+        target = tmp_path / "validation.txt"
+        out = _run_cli(capsys, "run", "validation", "--quick",
+                       "--format", "text", "--out", str(target),
+                       "--no-cache")
+        assert out == ""
+        assert target.read_text() == _fixture("validation_quick.txt")
+
+
+class TestListAndErrors:
+    def test_list_names_every_registered_experiment(self, capsys):
+        out = _run_cli(capsys, "list")
+        for name in all_experiments():
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_jobs_fails(self, capsys):
+        assert main(["run", "fig3", "--jobs", "0"]) == 2
+
+    def test_unwritable_out_fails_cleanly(self, capsys, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "f.json"
+        assert main(["run", "validation", "--quick", "--format", "json",
+                     "--out", str(target), "--no-cache"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_text_out_still_emits_timing_diagnostics(self, capsys,
+                                                     tmp_path):
+        target = tmp_path / "v.txt"
+        assert main(["run", "validation", "--quick", "--format", "text",
+                     "--out", str(target), "--no-cache"]) == 0
+        assert "regenerated in" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def _warm(self, cache_dir) -> None:
+        from repro.api import Session
+        from repro.core.config import CompilerConfig
+        from repro.exec.cache import cached_compile
+        from repro.hardware.topology import Topology
+        from repro.workloads.registry import build_circuit
+
+        with Session(cache_dir=str(cache_dir)).activate():
+            topology = Topology.square(5, 3.0)
+            config = CompilerConfig(max_interaction_distance=3.0)
+            for size in (4, 6):
+                cached_compile(build_circuit("bv", size), topology, config)
+
+    def test_stats(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        out = _run_cli(capsys, "cache", "stats", "--cache-dir",
+                       str(tmp_path))
+        assert "entries:         2" in out
+        assert str(tmp_path) in out
+
+    def test_clear(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        out = _run_cli(capsys, "cache", "clear", "--cache-dir",
+                       str(tmp_path))
+        assert "removed 2 entries" in out
+        out = _run_cli(capsys, "cache", "stats", "--cache-dir",
+                       str(tmp_path))
+        assert "entries:         0" in out
+
+    def test_prune_to_zero(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        out = _run_cli(capsys, "cache", "prune", "--max-size", "0",
+                       "--cache-dir", str(tmp_path))
+        assert "removed 2 least-recently-used entries" in out
+        assert "0 remain" in out
+
+    def test_prune_generous_budget_keeps_everything(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        out = _run_cli(capsys, "cache", "prune", "--max-size", "100",
+                       "--cache-dir", str(tmp_path))
+        assert "removed 0" in out
+
+    def test_prune_negative_max_size_fails_cleanly(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--max-size", "-1",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-size" in capsys.readouterr().err

@@ -10,19 +10,17 @@ formatted output, event for event.
 import pytest
 
 from repro.analysis import architectures
-from repro.exec import cache as exec_cache
+from repro.api.session import install_default
 from repro.exec import engine
 from repro.experiments import fig10_loss_tolerance, fig12_overhead, fig13_sensitivity
 
 
 @pytest.fixture(autouse=True)
 def fresh_state():
-    saved_cache = exec_cache._ACTIVE
-    saved_jobs = engine.current_jobs()
-    exec_cache._ACTIVE = None
+    """Isolate every test from the process default session."""
+    saved = install_default(None)
     yield
-    exec_cache._ACTIVE = saved_cache
-    engine.set_jobs(saved_jobs)
+    install_default(saved)
 
 
 def test_fig12_quick_identical_at_jobs_1_and_4(tmp_path):

@@ -5,6 +5,7 @@ import pickle
 
 import pytest
 
+from repro.api.session import Session, install_default
 from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.exec import cache as exec_cache
@@ -15,12 +16,11 @@ from repro.workloads.registry import build_circuit
 
 
 @pytest.fixture(autouse=True)
-def fresh_global_cache():
-    """Isolate every test from the process-global cache, and restore it."""
-    saved = exec_cache._ACTIVE
-    exec_cache._ACTIVE = None
+def fresh_default_session():
+    """Isolate every test from the process default session."""
+    saved = install_default(None)
     yield
-    exec_cache._ACTIVE = saved
+    install_default(saved)
 
 
 def _inputs():
@@ -31,46 +31,45 @@ def _inputs():
 
 
 def test_memory_tier_shares_one_artifact():
-    exec_cache.set_cache_dir(None)
     circuit, topology, config = _inputs()
-    first = cached_compile(circuit, topology, config)
-    second = cached_compile(circuit, Topology.square(5, 3.0), config)
-    assert first is second
-    stats = exec_cache.get_cache().stats()
+    with Session().activate() as session:
+        first = cached_compile(circuit, topology, config)
+        second = cached_compile(circuit, Topology.square(5, 3.0), config)
+        assert first is second
+        stats = session.cache.stats()
     assert stats["memory_hits"] == 1 and stats["misses"] == 1
 
 
 def test_disk_tier_round_trip(tmp_path):
     circuit, topology, config = _inputs()
-    exec_cache.set_cache_dir(str(tmp_path))
-    first = cached_compile(circuit, topology, config)
+    with Session(cache_dir=str(tmp_path)).activate():
+        first = cached_compile(circuit, topology, config)
 
-    # A second process is simulated by resetting to a fresh cache object
-    # pointed at the same directory: the program must come back from disk
-    # with identical content, including the pinned compile time.
-    exec_cache.set_cache_dir(str(tmp_path))
-    second = cached_compile(circuit, topology, config)
+    # A second process is simulated by a fresh session pointed at the
+    # same directory: the program must come back from disk with
+    # identical content, including the pinned compile time.
+    with Session(cache_dir=str(tmp_path)).activate() as fresh:
+        second = cached_compile(circuit, topology, config)
+        assert fresh.cache.stats()["disk_hits"] == 1
     assert second is not first
     assert second.summary() == first.summary()
     assert second.compile_seconds == first.compile_seconds
     assert second.schedule == first.schedule
-    assert exec_cache.get_cache().stats()["disk_hits"] == 1
 
 
 def test_corrupt_disk_entry_is_a_miss(tmp_path):
     circuit, topology, config = _inputs()
-    exec_cache.set_cache_dir(str(tmp_path))
-    cached_compile(circuit, topology, config)
-
-    key = compile_key(circuit, topology, config)
-    entry = exec_cache.get_cache()._file_for(key)
+    with Session(cache_dir=str(tmp_path)).activate() as session:
+        cached_compile(circuit, topology, config)
+        key = compile_key(circuit, topology, config)
+        entry = session.cache._file_for(key)
     with open(entry, "wb") as handle:
         handle.write(b"not a pickle")
 
-    exec_cache.set_cache_dir(str(tmp_path))
-    program = cached_compile(circuit, topology, config)
-    assert program.op_count > 0
-    assert exec_cache.get_cache().stats()["disk_hits"] == 0
+    with Session(cache_dir=str(tmp_path)).activate() as fresh:
+        program = cached_compile(circuit, topology, config)
+        assert program.op_count > 0
+        assert fresh.cache.stats()["disk_hits"] == 0
 
 
 def test_non_program_pickle_is_a_miss(tmp_path):
@@ -86,14 +85,14 @@ def test_persist_false_stores_nothing(tmp_path):
     """Transient compiles (hole-pattern recompilations) must not grow
     either cache tier — their keys essentially never recur."""
     circuit, topology, config = _inputs()
-    exec_cache.set_cache_dir(str(tmp_path))
-    cached_compile(circuit, topology, config, persist=False)
-    files = [f for _, _, names in os.walk(tmp_path) for f in names]
-    assert files == []
-    assert exec_cache.get_cache().stats()["entries_in_memory"] == 0
-    # ... but a transient lookup still benefits from persisted entries.
-    stored = cached_compile(circuit, topology, config)
-    assert cached_compile(circuit, topology, config, persist=False) is stored
+    with Session(cache_dir=str(tmp_path)).activate() as session:
+        cached_compile(circuit, topology, config, persist=False)
+        files = [f for _, _, names in os.walk(tmp_path) for f in names]
+        assert files == []
+        assert session.cache.stats()["entries_in_memory"] == 0
+        # ... but a transient lookup still benefits from persisted entries.
+        stored = cached_compile(circuit, topology, config)
+        assert cached_compile(circuit, topology, config, persist=False) is stored
 
 
 def test_unwritable_cache_dir_degrades_to_memory(tmp_path):
@@ -102,9 +101,9 @@ def test_unwritable_cache_dir_degrades_to_memory(tmp_path):
     os.chmod(blocked, 0o500)
     try:
         circuit, topology, config = _inputs()
-        exec_cache.set_cache_dir(str(blocked))
-        program = cached_compile(circuit, topology, config)
-        assert program.op_count > 0
+        with Session(cache_dir=str(blocked)).activate():
+            program = cached_compile(circuit, topology, config)
+            assert program.op_count > 0
     finally:
         os.chmod(blocked, 0o700)
 
@@ -114,22 +113,125 @@ def test_mid_mismatch_normalized_like_compile_circuit(tmp_path):
     MID disagrees with the topology is normalized exactly the way
     compile_circuit normalizes it, so both spellings share one entry."""
     circuit, topology, _ = _inputs()
-    exec_cache.set_cache_dir(None)
-    stale_config = CompilerConfig(max_interaction_distance=9.0)
-    via_cache = cached_compile(circuit, topology, stale_config)
-    direct = compile_circuit(circuit, topology, stale_config)
-    assert via_cache.summary() == direct.summary()
-    again = cached_compile(
-        circuit, topology, CompilerConfig(max_interaction_distance=3.0)
-    )
-    assert again is via_cache
+    with Session().activate():
+        stale_config = CompilerConfig(max_interaction_distance=9.0)
+        via_cache = cached_compile(circuit, topology, stale_config)
+        direct = compile_circuit(circuit, topology, stale_config)
+        assert via_cache.summary() == direct.summary()
+        again = cached_compile(
+            circuit, topology, CompilerConfig(max_interaction_distance=3.0)
+        )
+        assert again is via_cache
 
 
 def test_cached_compile_equals_direct_compile():
-    exec_cache.set_cache_dir(None)
     circuit, topology, config = _inputs()
-    cached = cached_compile(circuit, topology, config)
+    with Session().activate():
+        cached = cached_compile(circuit, topology, config)
     direct = compile_circuit(circuit, topology, config)
     assert cached.summary() == direct.summary()
     assert cached.schedule == direct.schedule
     assert cached.initial_layout == direct.initial_layout
+
+
+def test_explicit_cache_argument_bypasses_session():
+    """cached_compile(cache=...) ignores the active session's cache."""
+    circuit, topology, config = _inputs()
+    private = CompileCache(None)
+    with Session().activate() as session:
+        program = cached_compile(circuit, topology, config, cache=private)
+        assert program.op_count > 0
+        assert session.cache.stats()["misses"] == 0
+    assert private.stats()["misses"] == 1
+
+
+def test_get_cache_resolves_active_session():
+    outer = exec_cache.get_cache()
+    inner_session = Session()
+    with inner_session.activate():
+        assert exec_cache.get_cache() is inner_session.cache
+    assert exec_cache.get_cache() is outer
+
+
+# -- disk-tier maintenance ----------------------------------------------------------
+
+
+def _fill_cache(tmp_path, sizes=(4, 6, 8)):
+    cache_dir = str(tmp_path)
+    with Session(cache_dir=cache_dir).activate() as session:
+        topology = Topology.square(5, 3.0)
+        config = CompilerConfig(max_interaction_distance=3.0)
+        for size in sizes:
+            cached_compile(build_circuit("bv", size), topology, config)
+        return session.cache
+
+
+def test_disk_stats_counts_entries(tmp_path):
+    cache = _fill_cache(tmp_path)
+    stats = cache.disk_stats()
+    assert stats["entries"] == 3
+    assert stats["total_bytes"] > 0
+    assert stats["path"] == str(tmp_path)
+
+
+def test_clear_disk_removes_everything(tmp_path):
+    cache = _fill_cache(tmp_path)
+    assert cache.clear_disk() == 3
+    assert cache.disk_stats()["entries"] == 0
+
+
+def test_prune_disk_evicts_lru_first(tmp_path):
+    cache = _fill_cache(tmp_path)
+    entries = sorted(cache.disk_entries(), key=lambda e: (e[2], e[0]))
+    # Make the recency order deterministic regardless of filesystem
+    # timestamp granularity.
+    for age, (path, _, _) in enumerate(reversed(entries)):
+        os.utime(path, (1_000_000 + age, 1_000_000 + age))
+    entries = sorted(cache.disk_entries(), key=lambda e: (e[2], e[0]))
+    keep_bytes = entries[-1][1]  # newest entry only
+    outcome = cache.prune_disk(keep_bytes)
+    assert outcome["removed"] == 2
+    assert outcome["remaining_entries"] == 1
+    remaining = cache.disk_entries()
+    assert len(remaining) == 1
+    assert remaining[0][0] == entries[-1][0]
+
+
+def test_prune_disk_noop_under_budget(tmp_path):
+    cache = _fill_cache(tmp_path)
+    outcome = cache.prune_disk(10**9)
+    assert outcome["removed"] == 0
+    assert cache.disk_stats()["entries"] == 3
+
+
+def test_clear_and_prune_sweep_orphaned_temp_files(tmp_path):
+    """A writer killed between mkstemp and os.replace leaves .tmp-*
+    files; maintenance must reclaim them or the tier stays over budget
+    forever."""
+    cache = _fill_cache(tmp_path)
+    shard = os.path.dirname(cache.disk_entries()[0][0])
+    orphan = os.path.join(shard, ".tmp-orphan.pkl")
+    with open(orphan, "wb") as handle:
+        handle.write(b"x" * 100)
+    os.utime(orphan, (1, 1))  # long-dead writer
+
+    cache.prune_disk(10**9)  # under budget: entries stay, orphan goes
+    assert not os.path.exists(orphan)
+    assert cache.disk_stats()["entries"] == 3
+
+    with open(orphan, "wb") as handle:
+        handle.write(b"x")
+    cache.clear_disk()
+    assert not os.path.exists(orphan)
+    assert cache.disk_stats()["entries"] == 0
+
+
+def test_prune_keeps_fresh_temp_files(tmp_path):
+    """A temp file a live writer just created must not be swept."""
+    cache = _fill_cache(tmp_path)
+    shard = os.path.dirname(cache.disk_entries()[0][0])
+    in_flight = os.path.join(shard, ".tmp-inflight.pkl")
+    with open(in_flight, "wb") as handle:
+        handle.write(b"x")
+    cache.prune_disk(10**9)
+    assert os.path.exists(in_flight)

@@ -3,24 +3,24 @@
 Parallel runs use real spawn-based worker processes, so the tests keep
 the workloads tiny; the invariant checked everywhere is the engine's
 contract — results in task order, identical at any worker count.
+Execution policy comes from the active :class:`repro.api.Session`.
 """
 
 import pytest
 
-from repro.exec import cache as exec_cache
+from repro.api.session import Session, install_default
 from repro.exec import engine
+from repro.exec.cache import get_cache, get_cache_dir
 from repro.exec.keys import derive_seed
 from repro.loss.runner import ShotSpec, run_shot_spec, run_shot_specs
 
 
 @pytest.fixture(autouse=True)
 def fresh_state():
-    saved_cache = exec_cache._ACTIVE
-    saved_jobs = engine.current_jobs()
-    exec_cache._ACTIVE = None
+    """Isolate every test from the process default session."""
+    saved = install_default(None)
     yield
-    exec_cache._ACTIVE = saved_cache
-    engine.set_jobs(saved_jobs)
+    install_default(saved)
 
 
 def test_results_preserve_task_order():
@@ -30,21 +30,26 @@ def test_results_preserve_task_order():
     ]
 
 
-def test_set_jobs_validates():
+def test_session_jobs_validate():
     with pytest.raises(ValueError):
-        engine.set_jobs(0)
+        Session(jobs=0)
 
 
 def test_sweep_settings_restores_state(tmp_path):
-    engine.set_jobs(1)
-    outer = exec_cache.set_cache_dir(None)
+    outer_cache = get_cache()
     with engine.sweep_settings(jobs=3, cache_dir=str(tmp_path)):
         assert engine.current_jobs() == 3
-        assert exec_cache.get_cache_dir() == str(tmp_path)
+        assert get_cache_dir() == str(tmp_path)
     assert engine.current_jobs() == 1
-    assert exec_cache.get_cache_dir() is None
+    assert get_cache_dir() is None
     # The previous cache OBJECT comes back — warm tier and stats intact.
-    assert exec_cache.get_cache() is outer
+    assert get_cache() is outer_cache
+
+
+def test_sweep_settings_keep_shares_cache_object(tmp_path):
+    outer = get_cache()
+    with engine.sweep_settings(jobs=2):
+        assert get_cache() is outer
 
 
 def _tiny_specs():
@@ -59,18 +64,18 @@ def _tiny_specs():
 
 def test_parallel_equals_serial(tmp_path):
     """jobs=2 spawn workers reproduce jobs=1 results bit-for-bit."""
-    exec_cache.set_cache_dir(str(tmp_path))
-    specs = _tiny_specs()
-    serial = run_shot_specs(specs, jobs=1)
-    parallel = run_shot_specs(specs, jobs=2)
+    with Session(cache_dir=str(tmp_path)).activate():
+        specs = _tiny_specs()
+        serial = run_shot_specs(specs, jobs=1)
+        parallel = run_shot_specs(specs, jobs=2)
     assert parallel == serial  # RunResult dataclass equality: full timelines
 
 
 def test_run_shot_spec_is_self_contained():
-    exec_cache.set_cache_dir(None)
-    spec = _tiny_specs()[0]
-    first = run_shot_spec(spec)
-    second = run_shot_spec(spec)
+    with Session().activate():
+        spec = _tiny_specs()[0]
+        first = run_shot_spec(spec)
+        second = run_shot_spec(spec)
     assert first == second
     assert first.shots_attempted == 15
 
@@ -84,3 +89,15 @@ def test_task_exceptions_propagate():
                       seed=0)],
             jobs=1,
         )
+
+
+def test_explicit_session_overrides_current(tmp_path):
+    """run_tasks(session=...) uses that session, not the active one."""
+    dedicated = Session(jobs=1, cache_dir=str(tmp_path))
+    with Session().activate():
+        results = engine.run_tasks(
+            run_shot_spec, _tiny_specs()[:1], session=dedicated
+        )
+    assert results[0].shots_attempted == 15
+    # The compile went through the dedicated session's cache.
+    assert dedicated.cache.stats()["misses"] >= 1
