@@ -9,13 +9,70 @@ stdout, visible with ``pytest -s``).
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
+
+Passing ``--bench-json FILE`` additionally records one
+``{"experiment", "wall_s", "cache_hits"}`` entry per benchmark (the
+``experiment`` value is the benchmark's name, e.g. ``fig12_overhead``)
+— a thin wall-clock/cache-pressure trace independent of
+pytest-benchmark's own stats.  CI runs the suite this way and uploads
+the file (as ``BENCH_ci.json``) so the perf trajectory of every PR is
+preserved as an artifact.
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: {experiment, wall_s, cache_hits} records accumulated this session.
+_BENCH_RECORDS = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="FILE",
+        help="write one {experiment, wall_s, cache_hits} JSON record per "
+             "benchmark to FILE",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_trace(request):
+    """Record wall time and compile-cache hits around each benchmark."""
+    if request.config.getoption("--bench-json") is None:
+        yield
+        return
+    from repro.exec.cache import get_cache
+
+    cache = get_cache()
+    before = cache.stats()
+    start = time.perf_counter()
+    yield
+    wall = time.perf_counter() - start
+    after = cache.stats()
+    _BENCH_RECORDS.append({
+        # The benchmark's node name minus the collection prefix, e.g.
+        # "ablation_compile_margin", "fig12_overhead" — benchmark
+        # granularity, not registry names (several benches exercise
+        # micro-kernels no single registry experiment covers).
+        "experiment": request.node.name.removeprefix("test_"),
+        "wall_s": round(wall, 4),
+        "cache_hits": (after["memory_hits"] + after["disk_hits"]
+                       - before["memory_hits"] - before["disk_hits"]),
+    })
+
+
+def pytest_sessionfinish(session):
+    target = session.config.getoption("--bench-json", default=None)
+    if target is None:
+        return
+    payload = json.dumps(
+        sorted(_BENCH_RECORDS, key=lambda r: r["experiment"]), indent=2
+    )
+    pathlib.Path(target).write_text(payload + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

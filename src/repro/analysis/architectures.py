@@ -9,9 +9,9 @@ Compilation results are cached process-wide (and, when a cache directory
 is configured, on disk across processes — see :mod:`repro.exec.cache`):
 the figure drivers and the pytest benchmarks hit the same (benchmark,
 size, architecture) points repeatedly, and compiled metrics are
-deterministic.  ``prewarm_metrics`` fans a batch of points out over the
-sweep engine so the serial driver code that follows finds everything
-already cached.
+deterministic.  ``metrics_grid_map`` (legacy alias ``prewarm_metrics``)
+fans a batch of points out over the sweep engine so the serial driver
+code that follows finds everything already cached.
 """
 
 from __future__ import annotations
@@ -148,17 +148,19 @@ def _metrics_task(task: Dict) -> ProgramMetrics:
     )
 
 
-def prewarm_metrics(
+def metrics_grid_map(
     points: Iterable[MetricPoint], jobs: Optional[int] = None
 ) -> None:
-    """Compile a batch of points in parallel and prime the metrics cache.
+    """Compile a batch of points as one task grid and prime the metrics
+    cache — the exec-engine route every compiled-metrics figure driver
+    takes before its serial aggregation pass.
 
-    Compilation is deterministic, so fanning points out over worker
-    processes and importing the results is indistinguishable from
-    compiling them serially — only faster.  Points already cached are
-    skipped; duplicates are deduplicated.
+    Compilation is deterministic (the grid seeds go unused), so fanning
+    points out over worker processes and importing the results is
+    indistinguishable from compiling them serially — only faster.
+    Points already cached are skipped; duplicates are deduplicated.
     """
-    from repro.exec.engine import run_tasks
+    from repro.exec.grid import grid_map
 
     pending: List[Tuple] = []
     seen = set()
@@ -170,12 +172,20 @@ def prewarm_metrics(
         pending.append(key)
     if not pending:
         return
-    tasks = [
+    cells = [
         {"benchmark": b, "num_qubits": n, "arch": a, "rng_seed": s}
         for b, n, a, s in pending
     ]
-    for key, metrics in zip(pending, run_tasks(_metrics_task, tasks, jobs=jobs)):
+    for key, metrics in zip(
+        pending, grid_map(_metrics_task, cells, experiment="metrics",
+                          jobs=jobs)
+    ):
         _CACHE[key] = metrics
+
+
+#: Legacy name for :func:`metrics_grid_map` (kept for callers that read
+#: it as "make the cache warm" rather than "run the grid").
+prewarm_metrics = metrics_grid_map
 
 
 def savings_points(

@@ -136,7 +136,7 @@ def _serial_ladder(
     return ladder
 
 
-def size_ladder_grid(
+def size_ladder_grid_map(
     cells: Sequence[Tuple[str, Architecture, Sequence[int]]],
     jobs: Optional[int] = None,
 ) -> List[List[ProgramMetrics]]:
@@ -179,14 +179,18 @@ def size_ladder_grid(
     return ladders
 
 
+#: Legacy name for :func:`size_ladder_grid_map`.
+size_ladder_grid = size_ladder_grid_map
+
+
 def size_ladder_metrics(
     benchmark: str,
     arch: Architecture,
     sizes: Sequence[int],
     jobs: Optional[int] = None,
 ) -> List[ProgramMetrics]:
-    """One-cell convenience wrapper over :func:`size_ladder_grid`."""
-    return size_ladder_grid([(benchmark, arch, sizes)], jobs=jobs)[0]
+    """One-cell convenience wrapper over :func:`size_ladder_grid_map`."""
+    return size_ladder_grid_map([(benchmark, arch, sizes)], jobs=jobs)[0]
 
 
 def largest_runnable_from(

@@ -8,7 +8,10 @@ The subsystem has three parts:
 * :mod:`repro.exec.cache` — a two-tier (memory + on-disk) compile cache
   shared by every figure driver, strategy, and worker process;
 * :mod:`repro.exec.engine` — ``run_tasks``: fan a flat task list over a
-  ``ProcessPoolExecutor`` with results returned in task order.
+  ``ProcessPoolExecutor`` with results returned in task order;
+* :mod:`repro.exec.grid` — ``grid_map``: the declarative layer every
+  experiment driver routes through — cells in, canonical keys and
+  derived seeds stamped, results out in grid order.
 
 Execution *policy* (worker count, which cache, RNG base) lives on
 :class:`repro.api.Session` objects; the engine and cache resolve the
@@ -36,6 +39,7 @@ from repro.exec.engine import (
     set_jobs,
     sweep_settings,
 )
+from repro.exec.grid import cell_key, grid_map
 from repro.exec.keys import (
     SCHEMA_VERSION,
     compile_key,
@@ -48,9 +52,11 @@ __all__ = [
     "SCHEMA_VERSION",
     "CompileCache",
     "cached_compile",
+    "cell_key",
     "compile_key",
     "current_jobs",
     "derive_seed",
+    "grid_map",
     "get_cache",
     "get_cache_dir",
     "run_tasks",

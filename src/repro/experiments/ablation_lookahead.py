@@ -11,13 +11,14 @@ lookahead should shrink as the MID grows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
-from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
+from repro.exec.cache import cached_compile
+from repro.exec.grid import grid_map
 from repro.hardware.topology import Topology
 from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
@@ -74,41 +75,65 @@ class LookaheadResult(ExperimentResult):
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class LookaheadTask:
+    """One grid cell: compile one benchmark at one heuristic setting."""
+
+    benchmark: str
+    program_size: int
+    mid: float
+    window: int
+    decay: float
+    seed: int = 0  # stamped by grid_map; compilation is deterministic
+
+
+def compile_lookahead_point(task: LookaheadTask) -> LookaheadPoint:
+    """Task function: one cached compile, one table row (module-level
+    and picklable for spawn-based workers)."""
+    circuit = build_circuit(task.benchmark, task.program_size)
+    program = cached_compile(
+        circuit,
+        Topology.square(GRID_SIDE, task.mid),
+        CompilerConfig(
+            max_interaction_distance=task.mid,
+            native_max_arity=2,
+            restriction_radius="none" if task.mid == 1.0 else "half",
+            lookahead_layers=task.window,
+            lookahead_decay=task.decay,
+        ),
+    )
+    return LookaheadPoint(
+        benchmark=task.benchmark,
+        mid=task.mid,
+        window=task.window,
+        decay=task.decay,
+        gates=program.gate_count(),
+        depth=program.depth(),
+        swaps=program.swap_count,
+    )
+
+
 def run(
     benchmarks: Sequence[str] = ("bv", "qaoa"),
     mids: Sequence[float] = (1.0, 3.0),
     program_size: int = 30,
     windows: Sequence[int] = WINDOWS,
     decays: Sequence[float] = (1.0,),
+    jobs: Optional[int] = None,
 ) -> LookaheadResult:
-    """Run the lookahead ablation grid."""
-    result = LookaheadResult()
-    for benchmark in benchmarks:
-        circuit = build_circuit(benchmark, program_size)
-        for mid in mids:
-            topology = Topology.square(GRID_SIDE, mid)
-            for window in windows:
-                for decay in decays:
-                    config = CompilerConfig(
-                        max_interaction_distance=mid,
-                        native_max_arity=2,
-                        restriction_radius="none" if mid == 1.0 else "half",
-                        lookahead_layers=window,
-                        lookahead_decay=decay,
-                    )
-                    program = compile_circuit(circuit, topology, config)
-                    result.points.append(
-                        LookaheadPoint(
-                            benchmark=benchmark,
-                            mid=mid,
-                            window=window,
-                            decay=decay,
-                            gates=program.gate_count(),
-                            depth=program.depth(),
-                            swaps=program.swap_count,
-                        )
-                    )
-    return result
+    """Run the lookahead ablation as one task grid over the exec engine."""
+    cells = [
+        LookaheadTask(benchmark=benchmark, program_size=program_size,
+                      mid=mid, window=window, decay=decay)
+        for benchmark in benchmarks
+        for mid in mids
+        for window in windows
+        for decay in decays
+    ]
+    return LookaheadResult(points=grid_map(
+        compile_lookahead_point, cells, experiment="ablation-lookahead",
+        jobs=jobs,
+    ))
 
 
 SPEC = register_experiment(

@@ -18,16 +18,18 @@ device:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
 from repro.core.config import CompilerConfig
+from repro.exec.grid import grid_map
 from repro.hardware.noise import NoiseModel
+from repro.hardware.topology import Topology
 from repro.loss.strategies.compile_small import CompileSmallReroute
 from repro.loss.tolerance import max_loss_tolerance
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, base_seed_from
 from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
 
@@ -76,6 +78,50 @@ class MarginResult(ExperimentResult):
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class MarginTask:
+    """One grid cell: the full tolerance study at one margin."""
+
+    benchmark: str
+    program_size: int
+    true_mid: float
+    margin: float
+    trials: int
+    seed: int = 0  # stamped by grid_map from the cell's canonical key
+
+
+def measure_margin_point(task: MarginTask) -> MarginPoint:
+    """Task function: tolerance trials plus one clean compile at one
+    margin (module-level and picklable for spawn-based workers)."""
+    noise = NoiseModel.neutral_atom()
+    circuit = build_circuit(task.benchmark, task.program_size)
+    strategy = CompileSmallReroute(margin=task.margin, noise=noise)
+    tolerance = max_loss_tolerance(
+        strategy,
+        circuit,
+        GRID_SIDE,
+        task.true_mid,
+        config=CompilerConfig(max_interaction_distance=task.true_mid),
+        trials=task.trials,
+        rng=task.seed,
+    )
+    # begin() ran inside the tolerance loop against lossy topologies;
+    # recompile once cleanly (a cache hit after the first trial) to read
+    # the compiled program's cost at this margin.
+    program = strategy.begin(
+        circuit,
+        Topology.square(GRID_SIDE, task.true_mid),
+        CompilerConfig(max_interaction_distance=task.true_mid),
+    )
+    return MarginPoint(
+        margin=task.margin,
+        compiled_mid=task.true_mid - task.margin,
+        gates=program.gate_count(),
+        clean_success=program.success_rate(noise),
+        tolerance_fraction=tolerance.mean_fraction,
+    )
+
+
 def run(
     benchmark: str = "cnu",
     program_size: int = 30,
@@ -83,42 +129,22 @@ def run(
     margins: Sequence[float] = (1.0, 2.0, 3.0),
     trials: int = 3,
     rng: RngLike = 0,
+    jobs: Optional[int] = None,
 ) -> MarginResult:
-    """Sweep the compile-small margin at a fixed device MID."""
-    generator = ensure_rng(rng)
-    noise = NoiseModel.neutral_atom()
-    circuit = build_circuit(benchmark, program_size)
-    result = MarginResult(benchmark=benchmark, true_mid=true_mid)
-    for margin in margins:
-        strategy = CompileSmallReroute(margin=margin, noise=noise)
-        tolerance = max_loss_tolerance(
-            strategy,
-            circuit,
-            GRID_SIDE,
-            true_mid,
-            config=CompilerConfig(max_interaction_distance=true_mid),
-            trials=trials,
-            rng=int(generator.integers(2**32)),
-        )
-        # begin() ran inside the tolerance loop; recompile once cleanly to
-        # read the compiled program's cost at this margin.
-        from repro.hardware.topology import Topology
-
-        program = strategy.begin(
-            circuit,
-            Topology.square(GRID_SIDE, true_mid),
-            CompilerConfig(max_interaction_distance=true_mid),
-        )
-        result.points.append(
-            MarginPoint(
-                margin=margin,
-                compiled_mid=true_mid - margin,
-                gates=program.gate_count(),
-                clean_success=program.success_rate(noise),
-                tolerance_fraction=tolerance.mean_fraction,
-            )
-        )
-    return result
+    """Sweep the compile-small margin as a task grid over the exec
+    engine (each margin's trials seeded from its canonical cell key)."""
+    cells = [
+        MarginTask(benchmark=benchmark, program_size=program_size,
+                   true_mid=true_mid, margin=margin, trials=trials)
+        for margin in margins
+    ]
+    return MarginResult(
+        benchmark=benchmark,
+        true_mid=true_mid,
+        points=grid_map(measure_margin_point, cells,
+                        experiment="ablation-margin",
+                        base_seed=base_seed_from(rng), jobs=jobs),
+    )
 
 
 SPEC = register_experiment(

@@ -20,8 +20,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
-from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
+from repro.exec.cache import cached_compile
+from repro.exec.grid import grid_map
 from repro.hardware.topology import Topology
 from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
@@ -71,41 +72,66 @@ class ZoneAblationResult(ExperimentResult):
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ZoneTask:
+    """One grid cell: compile one benchmark under one zone policy."""
+
+    benchmark: str
+    program_size: int
+    mid: float
+    radius: str
+    zone_scale: float
+    seed: int = 0  # stamped by grid_map; compilation is deterministic
+
+
+def compile_zone_point(task: ZoneTask) -> ZoneAblationPoint:
+    """Task function: one cached compile, one table row (module-level
+    and picklable for spawn-based workers)."""
+    circuit = build_circuit(task.benchmark, task.program_size)
+    program = cached_compile(
+        circuit,
+        Topology.square(GRID_SIDE, task.mid),
+        CompilerConfig(
+            max_interaction_distance=task.mid,
+            restriction_radius=task.radius,
+            zone_scale=task.zone_scale,
+            native_max_arity=2,
+        ),
+    )
+    return ZoneAblationPoint(
+        benchmark=task.benchmark,
+        size=circuit.num_qubits,
+        mid=task.mid,
+        radius=task.radius,
+        zone_scale=task.zone_scale,
+        gates=program.gate_count(),
+        depth=program.depth(),
+    )
+
+
 def run(
     benchmarks: Sequence[str] = ("qaoa", "qft-adder", "cuccaro"),
     program_size: int = 30,
     mid: float = 4.0,
     radius_functions: Sequence[str] = RADIUS_FUNCTIONS,
     zone_scales: Sequence[float] = ZONE_SCALES,
+    jobs: Optional[int] = None,
 ) -> ZoneAblationResult:
-    """Run the zone ablation grid."""
-    result = ZoneAblationResult()
-    for benchmark in benchmarks:
-        circuit = build_circuit(benchmark, program_size)
-        for radius in radius_functions:
-            scales = zone_scales if radius != "none" else (1.0,)
-            for scale in scales:
-                config = CompilerConfig(
-                    max_interaction_distance=mid,
-                    restriction_radius=radius,
-                    zone_scale=scale,
-                    native_max_arity=2,
-                )
-                program = compile_circuit(
-                    circuit, Topology.square(GRID_SIDE, mid), config
-                )
-                result.points.append(
-                    ZoneAblationPoint(
-                        benchmark=benchmark,
-                        size=circuit.num_qubits,
-                        mid=mid,
-                        radius=radius,
-                        zone_scale=scale,
-                        gates=program.gate_count(),
-                        depth=program.depth(),
-                    )
-                )
-    return result
+    """Run the zone ablation as one task grid over the exec engine.
+
+    The grid is deliberately non-rectangular: ``f(d) = 0`` zones have no
+    extent, so only scale 1.0 is compiled for them.
+    """
+    cells = [
+        ZoneTask(benchmark=benchmark, program_size=program_size, mid=mid,
+                 radius=radius, zone_scale=scale)
+        for benchmark in benchmarks
+        for radius in radius_functions
+        for scale in (zone_scales if radius != "none" else (1.0,))
+    ]
+    return ZoneAblationResult(points=grid_map(
+        compile_zone_point, cells, experiment="ablation-zones", jobs=jobs,
+    ))
 
 
 SPEC = register_experiment(

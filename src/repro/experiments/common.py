@@ -17,7 +17,7 @@ from repro.analysis.architectures import (
     Architecture,
     compiled_metrics,
     neutral_atom_arch,
-    prewarm_metrics,
+    metrics_grid_map,
     savings_points,
 )
 from repro.api.serialize import serializable
@@ -99,8 +99,8 @@ def savings_over_baseline(
     ]
     # Fan the whole (size x MID) compile grid out over the sweep engine;
     # the serial aggregation below then runs entirely against the cache.
-    prewarm_metrics(savings_points(benchmark, sizes,
-                                   [baseline_arch] + sweep_archs))
+    metrics_grid_map(savings_points(benchmark, sizes,
+                                    [baseline_arch] + sweep_archs))
     for mid, arch in zip(mids, sweep_archs):
         savings = []
         for size in sizes:

@@ -11,13 +11,14 @@ for 2D tweezer arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
-from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
+from repro.exec.cache import cached_compile
+from repro.exec.grid import grid_map
 from repro.hardware.grid import Grid
 from repro.hardware.topology import Topology
 from repro.utils.textplot import format_table
@@ -71,41 +72,64 @@ class GeometryResult(ExperimentResult):
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class GeometryTask:
+    """One grid cell: compile one benchmark onto one atom arrangement."""
+
+    benchmark: str
+    program_size: int
+    rows: int
+    cols: int
+    shape: str  # "line" or "square"
+    mid: float
+    seed: int = 0  # stamped by grid_map; compilation is deterministic
+
+
+def compile_geometry_point(task: GeometryTask) -> GeometryPoint:
+    """Task function: one cached compile, one table row (module-level
+    and picklable for spawn-based workers)."""
+    circuit = build_circuit(task.benchmark, task.program_size)
+    program = cached_compile(
+        circuit,
+        Topology(Grid(task.rows, task.cols), task.mid),
+        CompilerConfig(max_interaction_distance=task.mid,
+                       native_max_arity=2),
+    )
+    return GeometryPoint(
+        benchmark=task.benchmark,
+        size=circuit.num_qubits,
+        mid=task.mid,
+        shape=task.shape,
+        gates=program.gate_count(),
+        depth=program.depth(),
+        swaps=program.swap_count,
+    )
+
+
 def run(
     benchmarks: Sequence[str] = ("bv", "cuccaro", "qaoa"),
     grid_side: int = 6,
     mids: Sequence[float] = (2.0, 3.0),
     fill_fraction: float = 0.6,
+    jobs: Optional[int] = None,
 ) -> GeometryResult:
-    """Compile onto a 1 x side^2 chain and a side x side square."""
+    """Compile onto a 1 x side^2 chain and a side x side square, as one
+    task grid over the exec engine."""
     num_atoms = grid_side * grid_side
     program_size = max(4, int(fill_fraction * num_atoms))
-    result = GeometryResult()
-    for benchmark in benchmarks:
-        circuit = build_circuit(benchmark, program_size)
-        for mid in mids:
-            for shape, grid in (
-                ("line", Grid(1, num_atoms)),
-                ("square", Grid(grid_side, grid_side)),
-            ):
-                program = compile_circuit(
-                    circuit,
-                    Topology(grid, mid),
-                    CompilerConfig(max_interaction_distance=mid,
-                                   native_max_arity=2),
-                )
-                result.points.append(
-                    GeometryPoint(
-                        benchmark=benchmark,
-                        size=circuit.num_qubits,
-                        mid=mid,
-                        shape=shape,
-                        gates=program.gate_count(),
-                        depth=program.depth(),
-                        swaps=program.swap_count,
-                    )
-                )
-    return result
+    cells = [
+        GeometryTask(benchmark=benchmark, program_size=program_size,
+                     rows=rows, cols=cols, shape=shape, mid=mid)
+        for benchmark in benchmarks
+        for mid in mids
+        for shape, rows, cols in (
+            ("line", 1, num_atoms),
+            ("square", grid_side, grid_side),
+        )
+    ]
+    return GeometryResult(points=grid_map(
+        compile_geometry_point, cells, experiment="ext-geometry", jobs=jobs,
+    ))
 
 
 SPEC = register_experiment(

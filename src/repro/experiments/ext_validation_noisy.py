@@ -10,13 +10,15 @@ benchmarks small enough to simulate exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
+from repro.exec.grid import grid_map
 from repro.hardware.noise import NoiseModel
 from repro.sim.noisy import sample_noisy_shots
+from repro.utils.rng import base_seed_from
 from repro.utils.textplot import format_table
 from repro.workloads.registry import build_circuit
 
@@ -63,31 +65,53 @@ class NoisyValidationResult(ExperimentResult):
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class NoisySampleTask:
+    """One grid cell: Monte-Carlo shots at one (benchmark, error)."""
+
+    benchmark: str
+    program_size: int
+    two_qubit_error: float
+    shots: int
+    seed: int = 0  # stamped by grid_map from the cell's canonical key
+
+
+def sample_validation_row(task: NoisySampleTask) -> NoisyValidationRow:
+    """Task function: sample one cell and compare with the analytic
+    estimate (module-level and picklable for spawn-based workers)."""
+    circuit = build_circuit(task.benchmark, task.program_size)
+    noise = NoiseModel.neutral_atom(two_qubit_error=task.two_qubit_error)
+    sim = sample_noisy_shots(circuit, noise, shots=task.shots, rng=task.seed)
+    return NoisyValidationRow(
+        benchmark=task.benchmark,
+        size=circuit.num_qubits,
+        two_qubit_error=task.two_qubit_error,
+        analytic=sim.analytic_estimate,
+        empirical=sim.empirical_rate,
+        shots=task.shots,
+    )
+
+
 def run(
     benchmarks: Sequence[str] = ("bv", "cuccaro"),
     program_size: int = 8,
     errors: Sequence[float] = (0.002, 0.01, 0.05),
     shots: int = 400,
     rng: int = 0,
+    jobs: Optional[int] = None,
 ) -> NoisyValidationResult:
-    """Compare analytic vs sampled success across a small grid."""
-    result = NoisyValidationResult()
-    for benchmark in benchmarks:
-        circuit = build_circuit(benchmark, program_size)
-        for error in errors:
-            noise = NoiseModel.neutral_atom(two_qubit_error=error)
-            sim = sample_noisy_shots(circuit, noise, shots=shots, rng=rng)
-            result.rows.append(
-                NoisyValidationRow(
-                    benchmark=benchmark,
-                    size=circuit.num_qubits,
-                    two_qubit_error=error,
-                    analytic=sim.analytic_estimate,
-                    empirical=sim.empirical_rate,
-                    shots=shots,
-                )
-            )
-    return result
+    """Compare analytic vs sampled success across a small grid, fanned
+    out over the exec engine with key-derived per-cell seeds."""
+    cells = [
+        NoisySampleTask(benchmark=benchmark, program_size=program_size,
+                        two_qubit_error=error, shots=shots)
+        for benchmark in benchmarks
+        for error in errors
+    ]
+    return NoisyValidationResult(rows=grid_map(
+        sample_validation_row, cells, experiment="ext-noisy-validation",
+        base_seed=base_seed_from(rng), jobs=jobs,
+    ))
 
 
 SPEC = register_experiment(

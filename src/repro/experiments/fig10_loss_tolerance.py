@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.core.config import CompilerConfig
-from repro.exec.keys import derive_seed, task_key
+from repro.exec.grid import grid_map
 from repro.loss.strategies import STRATEGY_ORDER, make_strategy
 from repro.loss.tolerance import ToleranceResult, max_loss_tolerance
 from repro.utils.rng import RngLike, base_seed_from
@@ -87,35 +87,42 @@ def run(
     rng: RngLike = 0,
     jobs: Optional[int] = None,
 ) -> Fig10Result:
-    """Regenerate Fig 10 (cells fanned out over the sweep engine)."""
-    from repro.exec.engine import run_tasks
+    """Regenerate Fig 10 (cells fanned out over the sweep engine).
 
+    The explicit ``key_fields`` pin the historical seed schema:
+    ``grid_side`` rides along to the task function but stays out of the
+    canonical key, keeping every cell's random stream byte-compatible
+    with the seed CLI fixtures.
+    """
     mids = list(mids) if mids is not None else list(PAPER_LOSS_MIDS)
     strategies = (
         list(strategies) if strategies is not None else list(STRATEGY_ORDER)
     )
-    base_seed = base_seed_from(rng)
     result = Fig10Result()
-    tasks = []
-    for benchmark in benchmarks:
-        for mid in mids:
-            for name in strategies:
-                if name.startswith("c") and "small" in name and mid <= 2.0:
-                    continue  # compile-small undefined at MID 2 (paper too)
-                key = task_key(experiment="fig10", benchmark=benchmark,
-                               strategy=name, mid=float(mid),
-                               program_size=program_size, trials=trials)
-                tasks.append({
-                    "benchmark": benchmark,
-                    "strategy": name,
-                    "mid": float(mid),
-                    "program_size": program_size,
-                    "grid_side": GRID_SIDE,
-                    "trials": trials,
-                    "seed": derive_seed(key, base=base_seed),
-                })
-    for task, cell in zip(tasks, run_tasks(_tolerance_task, tasks, jobs=jobs)):
-        result.cells[(task["benchmark"], task["strategy"], task["mid"])] = cell
+    cells = [
+        {
+            "benchmark": benchmark,
+            "strategy": name,
+            "mid": float(mid),
+            "program_size": program_size,
+            "grid_side": GRID_SIDE,
+            "trials": trials,
+        }
+        for benchmark in benchmarks
+        for mid in mids
+        for name in strategies
+        # compile-small undefined at MID 2 (paper too)
+        if not (name.startswith("c") and "small" in name and mid <= 2.0)
+    ]
+    tolerances = grid_map(
+        _tolerance_task, cells, experiment="fig10",
+        base_seed=base_seed_from(rng),
+        key_fields=("benchmark", "strategy", "mid", "program_size", "trials"),
+        jobs=jobs,
+    )
+    for cell, tolerance in zip(cells, tolerances):
+        result.cells[(cell["benchmark"], cell["strategy"], cell["mid"])] = \
+            tolerance
     return result
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.analysis.architectures import compiled_metrics, metrics_grid_map
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.experiments.common import (
@@ -88,7 +88,7 @@ def run(
     # BV line series): a single pool spin-up instead of one per
     # benchmark inside savings_over_baseline.
     savings_archs = [na_arch_for_mid(mid) for mid in [1.0] + mids]
-    prewarm_metrics(
+    metrics_grid_map(
         [(benchmark, size, arch, 0)
          for benchmark in benchmarks
          for size in default_sizes(benchmark, max_size, size_step)

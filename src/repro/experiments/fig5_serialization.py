@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.analysis.architectures import compiled_metrics, metrics_grid_map
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
@@ -103,7 +103,7 @@ def run(
             for radius in ("half", "none"):
                 points.append(("qaoa", size,
                                na_arch_for_mid(mid, restriction_radius=radius), 0))
-    prewarm_metrics(points)
+    metrics_grid_map(points)
 
     for benchmark in benchmarks:
         sizes = default_sizes(benchmark, max_size, size_step)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.architectures import compiled_metrics, prewarm_metrics
+from repro.analysis.architectures import compiled_metrics, metrics_grid_map
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
@@ -81,7 +81,7 @@ def run(
     sizes = list(sizes) if sizes is not None else [20, 40, 60, 94]
     mids = mids_or_default(mids)
     result = Fig6Result()
-    prewarm_metrics(
+    metrics_grid_map(
         (benchmark, size, na_arch_for_mid(mid, native_max_arity=arity), 0)
         for benchmark in benchmarks
         for size in sizes

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.architectures import (
     neutral_atom_arch,
-    prewarm_metrics,
+    metrics_grid_map,
     superconducting_arch,
 )
 from repro.analysis.success import (
@@ -73,7 +73,7 @@ def run(
     sc = superconducting_arch()
     errors = error_sweep(error_points)
     result = Fig7Result()
-    prewarm_metrics(
+    metrics_grid_map(
         [(benchmark, program_size, arch, 0)
          for benchmark in benchmarks for arch in (na, sc)],
         jobs=jobs,

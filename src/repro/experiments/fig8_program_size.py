@@ -16,7 +16,7 @@ from repro.analysis.architectures import neutral_atom_arch, superconducting_arch
 from repro.analysis.success import (
     error_sweep,
     largest_runnable_from,
-    size_ladder_grid,
+    size_ladder_grid_map,
     valid_sizes,
 )
 from repro.api.registry import register_experiment
@@ -81,7 +81,7 @@ def run(
         for benchmark in benchmarks
         for arch in (na, sc)
     ]
-    ladders = size_ladder_grid(cells, jobs=jobs)
+    ladders = size_ladder_grid_map(cells, jobs=jobs)
     for benchmark, (na_ladder, sc_ladder) in zip(
         benchmarks, zip(ladders[0::2], ladders[1::2])
     ):

@@ -15,14 +15,15 @@ benchmark.  Qiskit is unavailable offline; we validate more strongly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.api.registry import register_experiment
 from repro.api.results import ExperimentResult
 from repro.api.serialize import serializable
-from repro.core.compiler import compile_circuit
 from repro.core.config import CompilerConfig
 from repro.core.validation import check_compiled
+from repro.exec.cache import cached_compile
+from repro.exec.grid import grid_map
 from repro.hardware.grid import Grid
 from repro.hardware.topology import Topology
 from repro.utils.textplot import format_table
@@ -67,33 +68,51 @@ class ValidationResult(ExperimentResult):
         return "\n".join(lines)
 
 
-def run() -> ValidationResult:
+@dataclass(frozen=True)
+class ValidationTask:
+    """One grid cell: compile and cross-check one benchmark instance."""
+
+    benchmark: str
+    size: int
+    mid: float
+    config_kind: str  # "sc-like" or "mid"
+    seed: int = 0  # stamped by grid_map; the check is deterministic
+
+
+def validate_case(task: ValidationTask) -> ValidationRow:
+    """Task function: one cached compile plus the exact-simulation
+    equivalence check (module-level and picklable for spawn workers)."""
+    config = (CompilerConfig.superconducting_like()
+              if task.config_kind == "sc-like"
+              else CompilerConfig(max_interaction_distance=task.mid))
+    circuit = build_circuit(task.benchmark, task.size)
+    topology = Topology(Grid(3, 3), max_interaction_distance=task.mid)
+    program = cached_compile(circuit, topology, config)
+    return ValidationRow(
+        benchmark=task.benchmark,
+        size=circuit.num_qubits,
+        mid=task.mid,
+        equivalent=check_compiled(program),
+        gates=program.gate_count(),
+        swaps=program.swap_count,
+        depth=program.depth(),
+    )
+
+
+def run(jobs: Optional[int] = None) -> ValidationResult:
     """Validate the serial (BV) and parallel (CNU) benchmarks on small
-    devices, at MID 1 (SC-like) and with zones at MID 2."""
-    result = ValidationResult()
-    cases = [
-        ("bv", 6, 1.0, CompilerConfig.superconducting_like()),
-        ("cnu", 6, 1.0, CompilerConfig.superconducting_like()),
-        ("bv", 6, 2.0, CompilerConfig(max_interaction_distance=2.0)),
-        ("cnu", 6, 2.0, CompilerConfig(max_interaction_distance=2.0)),
-        ("cuccaro", 6, 2.0, CompilerConfig(max_interaction_distance=2.0)),
+    devices, at MID 1 (SC-like) and with zones at MID 2 — one task grid
+    over the exec engine."""
+    cells = [
+        ValidationTask("bv", 6, 1.0, "sc-like"),
+        ValidationTask("cnu", 6, 1.0, "sc-like"),
+        ValidationTask("bv", 6, 2.0, "mid"),
+        ValidationTask("cnu", 6, 2.0, "mid"),
+        ValidationTask("cuccaro", 6, 2.0, "mid"),
     ]
-    for benchmark, size, mid, config in cases:
-        circuit = build_circuit(benchmark, size)
-        topology = Topology(Grid(3, 3), max_interaction_distance=mid)
-        program = compile_circuit(circuit, topology, config)
-        result.rows.append(
-            ValidationRow(
-                benchmark=benchmark,
-                size=circuit.num_qubits,
-                mid=mid,
-                equivalent=check_compiled(program),
-                gates=program.gate_count(),
-                swaps=program.swap_count,
-                depth=program.depth(),
-            )
-        )
-    return result
+    return ValidationResult(rows=grid_map(
+        validate_case, cells, experiment="validation", jobs=jobs,
+    ))
 
 
 SPEC = register_experiment(

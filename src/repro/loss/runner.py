@@ -264,3 +264,27 @@ def run_shot_specs(specs, jobs: Optional[int] = None) -> List[RunResult]:
     from repro.exec.engine import run_tasks
 
     return run_tasks(run_shot_spec, list(specs), jobs=jobs)
+
+
+def run_shot_grid_map(
+    specs,
+    *,
+    experiment: str,
+    base_seed: int = 0,
+    key_fields=None,
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """Run a batch of specs with key-derived seeds, in spec order.
+
+    The grid_map layer over :func:`run_shot_specs`: each spec's ``seed``
+    field is **overwritten** with a seed derived from the spec's
+    canonical cell key (its primitive fields — strategy, benchmark,
+    sizes, shot counts — under the ``experiment`` namespace; the
+    attached model objects stay out of the key), so shot outcomes are
+    identical at any worker count and independent of which other specs
+    share the batch.  Construct specs with ``seed=0`` as a placeholder.
+    """
+    from repro.exec.grid import grid_map
+
+    return grid_map(run_shot_spec, list(specs), experiment=experiment,
+                    base_seed=base_seed, key_fields=key_fields, jobs=jobs)

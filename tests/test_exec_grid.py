@@ -1,0 +1,108 @@
+"""Unit tests for the declarative grid layer (repro.exec.grid)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.api.session import Session, install_default
+from repro.exec.grid import SEED_FIELD, cell_key, grid_map
+from repro.exec.keys import derive_seed, task_key
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    saved = install_default(None)
+    yield
+    install_default(saved)
+
+
+@dataclass(frozen=True)
+class Cell:
+    benchmark: str
+    mid: float
+    seed: int = 0
+
+
+def echo_task(cell):
+    """Module-level so spawn-based workers can import it."""
+    if isinstance(cell, dict):
+        return (cell["benchmark"], cell["mid"], cell[SEED_FIELD])
+    return (cell.benchmark, cell.mid, cell.seed)
+
+
+class TestCellKey:
+    def test_matches_hand_rolled_task_key(self):
+        cell = Cell(benchmark="bv", mid=3.0)
+        assert cell_key("fig99", cell) == task_key(
+            experiment="fig99", benchmark="bv", mid=3.0)
+
+    def test_seed_never_enters_the_key(self):
+        assert (cell_key("x", Cell("bv", 3.0, seed=0))
+                == cell_key("x", Cell("bv", 3.0, seed=123)))
+
+    def test_dict_and_dataclass_cells_agree(self):
+        assert (cell_key("x", {"benchmark": "bv", "mid": 3.0})
+                == cell_key("x", Cell("bv", 3.0)))
+
+    def test_non_primitive_fields_are_skipped_automatically(self):
+        cell = {"benchmark": "bv", "mid": 3.0, "model": object()}
+        assert cell_key("x", cell) == cell_key(
+            "x", {"benchmark": "bv", "mid": 3.0})
+
+    def test_explicit_key_fields_pin_the_schema(self):
+        wide = {"benchmark": "bv", "mid": 3.0, "grid_side": 10}
+        assert cell_key("x", wide, key_fields=("benchmark", "mid")) == \
+            cell_key("x", {"benchmark": "bv", "mid": 3.0})
+
+    def test_explicit_key_field_must_exist_and_be_primitive(self):
+        with pytest.raises(KeyError):
+            cell_key("x", {"a": 1}, key_fields=("missing",))
+        with pytest.raises(TypeError):
+            cell_key("x", {"a": object()}, key_fields=("a",))
+
+    def test_rejects_non_cell_types(self):
+        with pytest.raises(TypeError):
+            cell_key("x", ["not", "a", "cell"])
+
+
+class TestGridMap:
+    def test_stamps_key_derived_seeds_in_order(self):
+        cells = [Cell("bv", 2.0), Cell("bv", 3.0)]
+        results = grid_map(echo_task, cells, experiment="t", base_seed=7)
+        expected = [
+            ("bv", 2.0, derive_seed(cell_key("t", cells[0]), base=7)),
+            ("bv", 3.0, derive_seed(cell_key("t", cells[1]), base=7)),
+        ]
+        assert results == expected
+
+    def test_caller_seed_is_overwritten(self):
+        polluted = [Cell("bv", 2.0, seed=999)]
+        clean = [Cell("bv", 2.0, seed=0)]
+        assert (grid_map(echo_task, polluted, experiment="t")
+                == grid_map(echo_task, clean, experiment="t"))
+
+    def test_dict_cells_get_the_seed_field_injected(self):
+        [(_, _, seed)] = grid_map(
+            echo_task, [{"benchmark": "bv", "mid": 2.0}], experiment="t")
+        assert seed == derive_seed(
+            cell_key("t", {"benchmark": "bv", "mid": 2.0}), base=0)
+
+    def test_seeds_are_enumeration_order_independent(self):
+        narrow = grid_map(echo_task, [Cell("bv", 3.0)], experiment="t")
+        wide = grid_map(
+            echo_task, [Cell("bv", 2.0), Cell("bv", 3.0), Cell("qaoa", 1.0)],
+            experiment="t")
+        assert narrow[0] in wide
+
+    def test_parallel_equals_serial(self, tmp_path):
+        cells = [Cell("bv", float(mid)) for mid in range(1, 5)]
+        with Session(jobs=1, cache_dir=str(tmp_path)).activate():
+            serial = grid_map(echo_task, cells, experiment="t")
+        with Session(jobs=2, cache_dir=str(tmp_path)).activate():
+            parallel = grid_map(echo_task, cells, experiment="t")
+        assert parallel == serial
+
+    def test_experiment_namespaces_isolate_seeds(self):
+        [a] = grid_map(echo_task, [Cell("bv", 3.0)], experiment="one")
+        [b] = grid_map(echo_task, [Cell("bv", 3.0)], experiment="two")
+        assert a[2] != b[2]
