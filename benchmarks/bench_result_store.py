@@ -1,0 +1,36 @@
+"""Result-store bench — the O(1) replay path vs recomputation.
+
+Populates a persistent result store with one fig10 run, then times the
+read-through replay (`Session.run` hitting the store).  The replay must
+dispatch zero sweep tasks and miss the compile cache zero times — the
+memoize-don't-recompute discipline the store exists to provide — and
+come back orders of magnitude faster than the run that populated it.
+"""
+
+import time
+
+from repro.api import Session
+
+TINY = dict(benchmarks=("cnu",), mids=(2.0,), program_size=16, trials=1)
+
+
+def test_result_store_replay(benchmark, tmp_path):
+    store_dir = str(tmp_path / "store")
+    populate_start = time.perf_counter()
+    populated = Session(store_dir=store_dir).run("fig10", **TINY)
+    populate_wall = time.perf_counter() - populate_start
+
+    session = Session(store_dir=store_dir)
+
+    def replay():
+        return session.run("fig10", **TINY)
+
+    result = benchmark(replay)
+
+    assert result == populated
+    assert session.store.hits >= 1 and session.store.misses == 0
+    assert session.tasks_executed == 0
+    assert session.cache_stats()["misses"] == 0
+    # The entire point: replay is not meaningfully slower than reading
+    # one small JSON file, and vastly faster than recomputing.
+    assert benchmark.stats.stats.mean < populate_wall

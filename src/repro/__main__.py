@@ -7,8 +7,12 @@ Usage::
     python -m repro run fig12 --quick
     python -m repro run all --quick --jobs 4 --cache-dir /tmp/repro-cache
     python -m repro run fig3 --quick --format json --out fig3.json
+    python -m repro run fig3 --quick --store /tmp/repro-store
     python -m repro cache stats
     python -m repro cache prune --max-size 256
+    python -m repro store ls
+    python -m repro store show KEY --format json
+    python -m repro store gc --max-size 64
 
 Every run executes under a :class:`repro.api.Session` built from the
 flags — no process-global execution state.  ``--format text`` (the
@@ -27,25 +31,32 @@ fast smoke pass).
 ``--jobs N`` fans sweep grids out over N worker processes; any N
 produces identical figure text because every task seeds its RNG from its
 canonical key.  ``--cache-dir`` points the persistent compile cache at a
-directory shared by workers and future runs; figure output goes to
-stdout and timing diagnostics to stderr, so redirected output is
-byte-comparable between runs sharing a warm cache.
+directory shared by workers and future runs; ``--store DIR`` makes runs
+read-through against a persistent result store (``--force`` recomputes
+and refreshes the stored entry).  Figure output goes to stdout and
+timing diagnostics to stderr, so redirected output is byte-comparable
+between runs sharing a warm cache — or replayed from the store.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 
-from repro.api import Session, all_experiments
+from repro.api import ExperimentResult, Session, all_experiments
+from repro.api.store import ResultStore, STORE_DIR_ENV, canonical_json
 from repro.exec.cache import CACHE_DIR_ENV
 
 #: Default on-disk compile cache for CLI runs (override with --cache-dir,
 #: the REPRO_CACHE_DIR environment variable, or disable with --no-cache).
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro", "compile")
+
+#: Default result-store directory for the `store` subcommand (override
+#: with --store-dir or the REPRO_STORE_DIR environment variable; `run`
+#: only uses a store when --store DIR is passed explicitly).
+DEFAULT_STORE_DIR = os.path.join("~", ".cache", "repro", "results")
 
 
 def _resolve_cache_dir(cache_dir, no_cache: bool):
@@ -56,27 +67,48 @@ def _resolve_cache_dir(cache_dir, no_cache: bool):
             or os.path.expanduser(DEFAULT_CACHE_DIR))
 
 
-def _timed_run(session: Session, name: str, quick: bool):
+def _resolve_store_dir(store_dir):
+    return (store_dir
+            or os.environ.get(STORE_DIR_ENV)
+            or os.path.expanduser(DEFAULT_STORE_DIR))
+
+
+def _timed_run(session: Session, name: str, quick: bool,
+               force: bool = False):
     """Run one experiment, emitting the timing diagnostic to stderr.
 
     stdout stays reserved for the (deterministic) result payload, so two
-    runs can be compared byte-for-byte.
+    runs can be compared byte-for-byte.  The diagnostic is attributed to
+    *this* run under *this* session: store hits are marked, and the
+    cache counters a caller reads afterwards belong to the session
+    actually activated here — never to the process default session.
     """
+    store = session.store
+    hits_before = store.hits if store is not None else 0
     start = time.perf_counter()
-    result = session.run(name, quick=quick)
+    result = session.run(name, quick=quick, force=force)
     elapsed = time.perf_counter() - start
-    print(f"[{name} regenerated in {elapsed:.1f}s"
+    replayed = store is not None and store.hits > hits_before
+    print(f"[{name} "
+          f"{'replayed from result store' if replayed else 'regenerated'} "
+          f"in {elapsed:.1f}s"
           f"{' (quick parameters)' if quick else ''}]",
           file=sys.stderr)
     return result
 
 
 def _emit(payload: str, out) -> None:
-    """Write ``payload`` verbatim to stdout or FILE — identical bytes
-    either way, so redirected stdout and --out are interchangeable."""
+    """Write ``payload`` to stdout or FILE — identical bytes either way
+    (modulo the guaranteed trailing newline), so redirected stdout and
+    --out are interchangeable.  Missing parent directories of FILE are
+    created."""
+    if not payload.endswith("\n"):
+        payload += "\n"
     if out is None:
         sys.stdout.write(payload)
     else:
+        parent = os.path.dirname(os.path.abspath(out))
+        os.makedirs(parent, exist_ok=True)
         # newline='' disables platform newline translation, keeping the
         # file byte-comparable with redirected stdout on every OS.
         with open(out, "w", encoding="utf-8", newline="") as handle:
@@ -97,35 +129,43 @@ def _cmd_run(args) -> int:
     session = Session(
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+        store_dir=args.store,
     )
+    stats_before = session.cache_stats()
     if args.format == "text" and args.out is None:
         # Streaming text path: byte-identical to the historical CLI.
         for name in names:
-            result = _timed_run(session, name, args.quick)
+            result = _timed_run(session, name, args.quick, args.force)
             print(result.format())
             print()
-        _print_cache_stats(session)
+        _print_cache_stats(session, stats_before)
         return 0
 
     if args.format == "text":
         # Same bytes as the streaming stdout mode (format() + blank
         # separator per figure), so `--out f.txt` == `> f.txt`.
         payload = "".join(
-            _timed_run(session, name, args.quick).format() + "\n\n"
+            _timed_run(session, name, args.quick, args.force).format()
+            + "\n\n"
             for name in names
         )
     else:
-        payloads = {name: _timed_run(session, name, args.quick).to_dict()
-                    for name in names}
+        payloads = {
+            name: _timed_run(session, name, args.quick, args.force).to_dict()
+            for name in names
+        }
         document = (payloads[names[0]] if args.experiment != "all"
                     else payloads)
-        payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        # canonical_json is the one spelling of the envelope bytes: the
+        # store persists it and `store show --format json` prints it,
+        # so stored bytes == stdout bytes by construction.
+        payload = canonical_json(document)
     try:
         _emit(payload, args.out)
     except OSError as error:
         print(f"cannot write {args.out}: {error}", file=sys.stderr)
         return 2
-    _print_cache_stats(session)
+    _print_cache_stats(session, stats_before)
     return 0
 
 
@@ -162,6 +202,63 @@ def _cmd_cache(args) -> int:
               f"({outcome['remaining_bytes'] / 1e6:.2f} MB) in {cache.path}")
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
+def _cmd_store(args) -> int:
+    store = ResultStore(_resolve_store_dir(args.store_dir))
+
+    if args.store_command == "ls":
+        rows = sorted(store.entries(), key=lambda r: (r[3], r[1]))
+        for key, _, size, _ in rows:
+            # peek, not get: a listing must not refresh every entry's
+            # recency and flatten the LRU order gc evicts by.
+            envelope = store.peek(key) or {}
+            experiment = envelope.get("experiment", "?")
+            print(f"{key}  {experiment:22s} {size / 1e3:8.1f} kB")
+        stats = store.stats()
+        print(f"{stats['entries']} stored result(s), "
+              f"{stats['total_bytes'] / 1e6:.2f} MB in {stats['path']}")
+        return 0
+
+    if args.store_command == "show":
+        matches = sorted({key for key, _, _, _ in store.entries()
+                          if key.startswith(args.key)})
+        if not matches:
+            print(f"no stored result matches key {args.key!r} in "
+                  f"{store.path}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"key prefix {args.key!r} is ambiguous: "
+                  f"{', '.join(k[:16] for k in matches)}", file=sys.stderr)
+            return 2
+        envelope = store.peek(matches[0])
+        if envelope is None:
+            print(f"stored entry {matches[0]} is unreadable",
+                  file=sys.stderr)
+            return 2
+        if args.format == "json":
+            # Byte-identical to `run <x> --format json` for this entry.
+            sys.stdout.write(canonical_json(envelope))
+            return 0
+        try:
+            result = ExperimentResult.from_dict(envelope)
+        except (TypeError, ValueError) as error:
+            print(f"cannot decode stored entry {matches[0][:16]}…: {error}",
+                  file=sys.stderr)
+            return 2
+        print(result.format())
+        return 0
+
+    if args.store_command == "gc":
+        if args.max_size < 0:
+            print("--max-size must be >= 0", file=sys.stderr)
+            return 2
+        outcome = store.gc(int(args.max_size * 1e6))
+        print(f"removed {outcome['removed']} least-recently-used results; "
+              f"{outcome['remaining_entries']} remain "
+              f"({outcome['remaining_bytes'] / 1e6:.2f} MB) in {store.path}")
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
 def main(argv=None) -> int:
@@ -206,6 +303,16 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk compile cache (memory-only)",
     )
+    run_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store: replay a previously stored run "
+             "instead of recomputing, persist fresh results",
+    )
+    run_parser.add_argument(
+        "--force", action="store_true",
+        help="with --store: recompute even on a store hit and refresh "
+             "the stored entry",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or shrink the on-disk compile cache")
@@ -228,22 +335,60 @@ def main(argv=None) -> int:
         "--max-size", type=float, required=True, metavar="MB",
         help="target size of the disk tier, in megabytes",
     )
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect or shrink the persistent result store")
+    store_dir_parent = argparse.ArgumentParser(add_help=False)
+    store_dir_parent.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="result-store directory (default: $REPRO_STORE_DIR, else "
+             "~/.cache/repro/results)",
+    )
+    store_sub = store_parser.add_subparsers(
+        dest="store_command", required=True)
+    store_sub.add_parser("ls", parents=[store_dir_parent],
+                         help="list stored results (key, experiment, size)")
+    show_parser = store_sub.add_parser(
+        "show", parents=[store_dir_parent],
+        help="print one stored result by key (unique prefixes accepted)")
+    show_parser.add_argument("key", help="store key, or a unique prefix")
+    show_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text: the decoded figure text (default); json: the stored "
+             "envelope, byte-identical to `run --format json`",
+    )
+    gc_parser = store_sub.add_parser(
+        "gc", parents=[store_dir_parent],
+        help="evict least-recently-used results over a size cap")
+    gc_parser.add_argument(
+        "--max-size", type=float, required=True, metavar="MB",
+        help="target size of the stored entries, in megabytes",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         return _cmd_list()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return _cmd_run(args)
 
 
-def _print_cache_stats(session: Session) -> None:
+def _print_cache_stats(session: Session, before=None) -> None:
     stats = session.cache_stats()
+    if before is not None:
+        # Attribute exactly this batch of runs: a long-lived (library)
+        # session may arrive with counters from earlier work, and those
+        # must not be re-reported here.
+        stats = {field: stats[field] - before.get(field, 0)
+                 for field in ("memory_hits", "disk_hits", "misses")}
     where = session.cache.path or "memory only"
-    # The session is constructed per CLI invocation, so these counters
-    # are exactly this run's parent-process activity; with --jobs > 1
-    # most compiles (and their cache hits) happen inside workers, whose
-    # counters die with the worker processes.
+    # The counters are this run's parent-process activity under the
+    # session actually activated for the run (never the process default
+    # session); with --jobs > 1 most compiles (and their cache hits)
+    # happen inside workers, whose counters die with the worker
+    # processes.
     print(f"[compile cache ({where}), this run: "
           f"{stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses]",

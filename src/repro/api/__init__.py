@@ -10,7 +10,10 @@ anything that embeds it — the CLI, services, notebooks:
 * :class:`ExperimentSpec` / :func:`all_experiments` — the declarative
   registry every figure, ablation, and extension driver registers into;
 * :class:`ExperimentResult` — ``format()`` for the byte-stable figure
-  text plus ``to_dict()``/``from_dict()`` for schema-stable JSON.
+  text plus ``to_dict()``/``from_dict()`` for schema-stable JSON;
+* :class:`ResultStore` / :func:`store_key` — the persistent
+  content-addressed store of result envelopes behind read-through
+  ``Session(store_dir=...).run``.
 """
 
 from repro.api.registry import (
@@ -32,6 +35,7 @@ from repro.api.session import (
     default_session,
     install_default,
 )
+from repro.api.store import ResultStore, store_key
 
 __all__ = [
     "RESULT_SCHEMA",
@@ -39,6 +43,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "ParamSpec",
+    "ResultStore",
     "Session",
     "all_experiments",
     "current_session",
@@ -47,4 +52,5 @@ __all__ = [
     "install_default",
     "register_experiment",
     "serializable",
+    "store_key",
 ]

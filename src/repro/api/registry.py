@@ -59,6 +59,23 @@ class ExperimentSpec:
                 f"valid: {', '.join(sorted(known))}"
             )
 
+    def resolved_params(self, quick: bool = False,
+                        overrides: Optional[Mapping[str, Any]] = None
+                        ) -> Dict[str, Any]:
+        """The full effective parameter mapping of one ``run()`` call.
+
+        Declared defaults overlaid by the ``--quick`` preset (when
+        ``quick``) and then the caller's overrides — the mapping the
+        result store digests, so ``--quick`` and the equivalent explicit
+        parameters share one store key.
+        """
+        kwargs = dict(self.quick) if quick else {}
+        kwargs.update(overrides or {})
+        self.validate_params(kwargs)
+        resolved = self.param_defaults()
+        resolved.update(kwargs)
+        return resolved
+
     def run(self, quick: bool = False, **overrides) -> ExperimentResult:
         """Execute the driver with the quick preset and/or overrides."""
         kwargs = dict(self.quick) if quick else {}

@@ -85,11 +85,34 @@ class ExperimentResult:
         if version != RESULT_SCHEMA_VERSION:
             raise ValueError(
                 f"unsupported result schema version {version!r} "
-                f"(supported: {RESULT_SCHEMA_VERSION})"
+                f"(expected {RESULT_SCHEMA_VERSION})"
             )
         # Decoding needs every result type registered, which happens when
         # the experiment modules import.
         registry.ensure_loaded()
+        # Validate the envelope's own identity fields up front: a stale
+        # or hand-edited payload must fail with the offending value and
+        # the supported set, not leak a registry KeyError from deep in
+        # the decoder.
+        experiment = payload.get("experiment")
+        known_experiments = registry.all_experiments()
+        if experiment not in known_experiments:
+            raise ValueError(
+                f"payload names unknown experiment {experiment!r}; "
+                f"known: {', '.join(sorted(known_experiments))}"
+            )
+        result_type = payload.get("result_type")
+        from repro.api.serialize import registered_types
+
+        if result_type not in registered_types():
+            raise ValueError(
+                f"payload names unknown result type {result_type!r}; "
+                f"known: {', '.join(sorted(registered_types()))}"
+            )
+        if "data" not in payload:
+            raise ValueError(
+                "result envelope is missing its 'data' field"
+            )
         result = decode(payload["data"])
         if not isinstance(result, ExperimentResult):
             raise ValueError(

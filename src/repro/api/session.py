@@ -24,10 +24,12 @@ that default.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Iterable, List, Optional
 
+from repro.api.store import ResultStore
 from repro.exec.cache import CACHE_DIR_ENV, CompileCache
 
 _CURRENT: ContextVar[Optional["Session"]] = ContextVar(
@@ -50,6 +52,12 @@ class Session:
         Optional base RNG seed applied to experiments run through
         :meth:`run` that accept an ``rng`` parameter; ``None`` keeps
         each driver's own default, preserving historical output.
+    ``store`` / ``store_dir``
+        Optional persistent :class:`~repro.api.store.ResultStore` making
+        :meth:`run` **read-through**: a previously stored run decodes
+        via ``ExperimentResult.from_dict`` instead of recomputing
+        (``force=True`` escapes).  ``None`` (the default) always
+        recomputes.
     """
 
     def __init__(
@@ -58,14 +66,23 @@ class Session:
         cache_dir: Optional[str] = None,
         cache: Optional[CompileCache] = None,
         seed: Optional[int] = None,
+        store_dir: Optional[str] = None,
+        store: Optional[ResultStore] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if cache is not None and cache_dir is not None:
             raise ValueError("pass cache or cache_dir, not both")
+        if store is not None and store_dir is not None:
+            raise ValueError("pass store or store_dir, not both")
         self.jobs = int(jobs)
         self.cache = cache if cache is not None else CompileCache(cache_dir)
         self.seed = None if seed is None else int(seed)
+        self.store = (store if store is not None
+                      else ResultStore(store_dir) if store_dir else None)
+        #: Sweep tasks dispatched under this session (parent-side count,
+        #: any worker level) — zero across a pure store replay.
+        self.tasks_executed = 0
 
     # -- scoping -----------------------------------------------------------------------
 
@@ -97,12 +114,20 @@ class Session:
             circuit, topology, config, persist=persist, cache=self.cache
         )
 
-    def run(self, experiment: str, quick: bool = False, **params):
+    def run(self, experiment: str, quick: bool = False,
+            force: bool = False, **params):
         """Run a registered experiment under this session's policy.
 
         Returns the driver's :class:`~repro.api.results.ExperimentResult`.
         ``quick=True`` applies the spec's reduced-parameter preset;
         keyword arguments override individual parameters.
+
+        With a configured result store the call is **read-through**: a
+        stored envelope for this (experiment, resolved params) decodes
+        via ``from_dict`` and nothing recomputes; a miss runs the
+        driver, persists its envelope, and returns it.  ``force=True``
+        skips the lookup but still refreshes the stored entry.  Either
+        way one ledger line records the outcome.
         """
         from repro.api.registry import get_experiment
 
@@ -113,8 +138,40 @@ class Session:
             and any(p.name == "rng" for p in spec.params)
         ):
             params["rng"] = self.seed
+        if self.store is None:
+            with self.activate():
+                return spec.run(quick=quick, **params)
+
+        from repro.api.results import ExperimentResult
+        from repro.api.store import store_key
+
+        key = store_key(
+            spec.name, spec.resolved_params(quick=quick, overrides=params)
+        )
+        start = time.perf_counter()
+        if not force:
+            envelope = self.store.get(key)
+            if envelope is not None:
+                try:
+                    result = ExperimentResult.from_dict(envelope)
+                except (TypeError, ValueError):
+                    # A stale or corrupt entry (e.g. written before a
+                    # schema bump) degrades to a miss and is overwritten
+                    # below.
+                    pass
+                else:
+                    self.store.record(
+                        key, spec.name, time.perf_counter() - start,
+                        hit=True,
+                    )
+                    return result
         with self.activate():
-            return spec.run(quick=quick, **params)
+            result = spec.run(quick=quick, **params)
+        self.store.put(key, result.to_dict())
+        self.store.record(
+            key, spec.name, time.perf_counter() - start, hit=False
+        )
+        return result
 
     # -- introspection -----------------------------------------------------------------
 
@@ -124,8 +181,9 @@ class Session:
 
     def __repr__(self) -> str:
         where = self.cache.path or "memory"
+        stored = self.store.path if self.store is not None else None
         return (f"Session(jobs={self.jobs}, cache={where!r}, "
-                f"seed={self.seed!r})")
+                f"seed={self.seed!r}, store={stored!r})")
 
 
 # -- current / default session resolution ------------------------------------------------

@@ -1,0 +1,299 @@
+"""Persistent, content-addressed store of experiment-result envelopes.
+
+Repeated experiment runs are the serving-scale workload: once a
+parameter set has been computed, answering it again should be an O(1)
+lookup, not a recomputation.  A :class:`ResultStore` persists every
+``ExperimentResult.to_dict()`` envelope under a canonical **store key**
+— a SHA-256 digest of
+
+* the experiment name,
+* the *resolved* parameter mapping (declared defaults overlaid by the
+  ``--quick`` preset and any overrides, canonicalized exactly the way
+  sweep-task keys are — see :func:`repro.exec.keys.params_digest`),
+* :data:`repro.api.results.RESULT_SCHEMA_VERSION` (envelope shape), and
+* :data:`repro.exec.keys.SCHEMA_VERSION` (compiler semantics),
+
+so bumping either schema version re-keys every run and silently orphans
+stale entries instead of ever replaying them.  Execution-policy
+parameters (``jobs``) stay out of the key: the determinism contract
+guarantees they never change output.
+
+Layout on disk mirrors the compile cache: sharded
+``<key[:2]>/<key>.json`` entry files written atomically (temp file +
+``os.replace``), plus an append-only run ledger ``ledger.jsonl`` — one
+``{"timestamp", "experiment", "key", "hit", "wall_s"}`` line per
+``Session.run`` through the store — for trend inspection.
+:meth:`ResultStore.gc` bounds the directory with the same LRU-by-mtime
+policy (path tie-break included) as ``CompileCache.prune_disk``; entry
+reads touch mtimes so replayed results stay resident.
+
+Entries hold the canonical JSON text (``sort_keys`` + 2-space indent +
+trailing newline) that ``python -m repro run X --format json`` prints,
+so a stored envelope and a fresh run are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api import results as _results
+from repro.exec import keys as _keys
+from repro.exec.diskutil import lru_evict, sweep_stale_temp_files
+
+#: Environment variable naming the default result-store directory.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: The append-only run ledger, at the store root (never an entry).
+LEDGER_NAME = "ledger.jsonl"
+
+#: Parameters that select execution policy, not experiment semantics:
+#: the determinism contract pins output at any worker count, so they
+#: must not fragment store keys.
+NON_SEMANTIC_PARAMS = frozenset({"jobs"})
+
+
+def _storable(value: Any) -> bool:
+    """Whether ``value`` canonicalizes stably into a store key."""
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(_storable(item) for item in value)
+    return False
+
+
+def _normalized(value: Any) -> Any:
+    """Lists folded into tuples, recursively.
+
+    Drivers treat sequence parameters interchangeably (``mids=[2.0]``
+    vs ``mids=(2.0,)``), so turning a store on must not start rejecting
+    — or re-keying — the list spelling of a call that already worked.
+    """
+    if isinstance(value, (tuple, list)):
+        return tuple(_normalized(item) for item in value)
+    return value
+
+
+def _tagged(value: Any) -> Tuple[str, Any]:
+    """A normalized value with its type name, floats via ``repr``.
+
+    Result identity needs more than :func:`repro.exec.keys.task_key`'s
+    seed-grade canonicalization: there a top-level float and its string
+    spelling may collide harmlessly, but replaying the wrong stored
+    result silently is not harmless.  Tagging every value with its type
+    keeps ``3.0``, ``"3.0"``, ``3``, and ``True``/``1`` all distinct.
+    """
+    value = _normalized(value)
+    return (type(value).__name__,
+            repr(value) if isinstance(value, float) else value)
+
+
+def store_key(experiment: str, params: Mapping[str, Any]) -> str:
+    """Canonical digest identifying one (experiment, resolved-params) run.
+
+    ``params`` must be the *resolved* mapping
+    (:meth:`repro.api.registry.ExperimentSpec.resolved_params`), so two
+    spellings of the same effective run — ``--quick`` vs its explicit
+    parameters — share a key.  Raises ``ValueError`` on parameter values
+    (live RNG objects, model instances) with no stable canonical form.
+    """
+    semantic = {name: value for name, value in params.items()
+                if name not in NON_SEMANTIC_PARAMS}
+    for name in sorted(semantic):
+        if not _storable(semantic[name]):
+            raise ValueError(
+                f"parameter {name!r}={semantic[name]!r} has no canonical "
+                "store form; store keys are built from str/int/float/"
+                "bool/None (or tuples of them)"
+            )
+    return _keys.params_digest(
+        (
+            "repro-result",
+            _results.RESULT_SCHEMA_VERSION,
+            _keys.SCHEMA_VERSION,
+            experiment,
+        ),
+        {name: _tagged(value) for name, value in semantic.items()},
+    )
+
+
+def canonical_json(envelope: Dict[str, Any]) -> str:
+    """The byte-stable JSON text of one envelope — identical to the
+    single-experiment ``--format json`` CLI output."""
+    return json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+
+class ResultStore:
+    """On-disk store of result envelopes keyed by :func:`store_key`."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self.hits = 0
+        self.misses = 0
+        self._warned_unwritable = False
+
+    def _warn_unwritable(self, error: OSError) -> None:
+        """One stderr line the first time persistence fails — the
+        degrade to pass-through execution must be observable, or an
+        unwritable volume silently recomputes forever."""
+        if self._warned_unwritable:
+            return
+        self._warned_unwritable = True
+        print(f"[result store {self.path} is not writable ({error}); "
+              "results will be recomputed, not persisted]",
+              file=sys.stderr)
+
+    # -- entry i/o ---------------------------------------------------------------
+
+    def _file_for(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored envelope for ``key``, or ``None``.
+
+        A missing, torn, or non-JSON entry is a miss; a hit touches the
+        entry's mtime so :meth:`gc` evicts least-recently-used results
+        first.
+        """
+        envelope = self.peek(key)
+        if envelope is not None:
+            try:
+                os.utime(self._file_for(key))
+            except OSError:
+                pass
+        return envelope
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """:meth:`get` without the recency touch — for inspection tools
+        (``store ls``/``show``) that must not distort LRU eviction
+        order by reading."""
+        target = self._file_for(key)
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        return envelope
+
+    def put(self, key: str, envelope: Dict[str, Any]) -> None:
+        """Persist one envelope atomically (temp file + ``os.replace``).
+
+        An unwritable store directory degrades to pass-through
+        execution rather than failing the run that produced the result.
+        """
+        target = self._file_for(key)
+        directory = os.path.dirname(target)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8",
+                               newline="") as handle:
+                    handle.write(canonical_json(envelope))
+                os.replace(temp_path, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self._warn_unwritable(error)
+
+    # -- the run ledger ----------------------------------------------------------
+
+    def ledger_path(self) -> str:
+        return os.path.join(self.path, LEDGER_NAME)
+
+    def record(self, key: str, experiment: str, wall_s: float,
+               hit: bool) -> None:
+        """Append one run event to the ledger (and the counters)."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        entry = {
+            "timestamp": round(time.time(), 3),
+            "experiment": experiment,
+            "key": key,
+            "hit": bool(hit),
+            "wall_s": round(wall_s, 4),
+        }
+        try:
+            os.makedirs(self.path, exist_ok=True)
+            with open(self.ledger_path(), "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError as error:
+            # An unwritable store degrades to pass-through execution;
+            # losing a trend line must not fail the run itself — but the
+            # degrade is announced once on stderr.
+            self._warn_unwritable(error)
+
+    def ledger_entries(self) -> List[Dict[str, Any]]:
+        """Every ledger line, oldest first (malformed lines skipped)."""
+        try:
+            with open(self.ledger_path(), "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        entries = []
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    # -- maintenance -------------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, str, int, float]]:
+        """Every persisted entry as ``(key, path, bytes, mtime)``."""
+        rows = []
+        for dirpath, _, filenames in os.walk(self.path):
+            for name in filenames:
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                target = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(target)
+                except OSError:
+                    continue
+                rows.append((name[:-len(".json")], target,
+                             info.st_size, info.st_mtime))
+        return rows
+
+    def stats(self) -> Dict[str, Any]:
+        rows = self.entries()
+        return {
+            "path": self.path,
+            "entries": len(rows),
+            "total_bytes": sum(size for _, _, size, _ in rows),
+        }
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used entries until the entry files fit
+        ``max_bytes`` — the same LRU policy as
+        ``CompileCache.prune_disk`` (one shared implementation:
+        :mod:`repro.exec.diskutil`).  The ledger is never evicted."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        # Orphans from killed writers never become entries, so evicting
+        # only entries could leave the directory over budget forever.
+        sweep_stale_temp_files(self.path, max_age_seconds=3600.0)
+        return lru_evict(
+            [(path, size, mtime) for _, path, size, mtime in self.entries()],
+            max_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r})"

@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 from repro.circuits.circuit import Circuit
 from repro.core.config import CompilerConfig
 from repro.core.result import CompiledProgram
+from repro.exec.diskutil import lru_evict, sweep_stale_temp_files
 from repro.exec.keys import compile_key
 from repro.hardware.topology import Topology
 
@@ -159,26 +160,12 @@ class CompileCache:
         }
 
     def _sweep_stale_temp_files(self, max_age_seconds: float) -> None:
-        """Remove ``.tmp-*`` leftovers from writers that died mid-write.
-
-        ``max_age_seconds`` guards against deleting a temp file a live
-        concurrent writer is still about to ``os.replace``.
-        """
-        import time
-
+        """Remove ``.tmp-*`` leftovers from writers that died mid-write
+        (see :func:`repro.exec.diskutil.sweep_stale_temp_files` for the
+        mtime-boundary contract)."""
         if self.path is None:
             return
-        cutoff = time.time() - max_age_seconds
-        for dirpath, _, filenames in os.walk(self.path):
-            for name in filenames:
-                if not name.startswith(".tmp-"):
-                    continue
-                target = os.path.join(dirpath, name)
-                try:
-                    if os.stat(target).st_mtime <= cutoff:
-                        os.unlink(target)
-                except OSError:
-                    pass
+        sweep_stale_temp_files(self.path, max_age_seconds)
 
     def clear_disk(self) -> int:
         """Delete every persisted entry (and any orphaned temp files);
@@ -190,7 +177,12 @@ class CompileCache:
                 removed += 1
             except OSError:
                 pass
-        self._sweep_stale_temp_files(max_age_seconds=0.0)
+        # One second of grace covers the coarsest common mtime
+        # granularity: a temp file a live writer touched in the same
+        # second as this clear survives and becomes (or replaces) an
+        # entry; genuinely orphaned ones fall to the next maintenance
+        # pass.
+        self._sweep_stale_temp_files(max_age_seconds=1.0)
         return removed
 
     def prune_disk(self, max_bytes: int) -> dict:
@@ -201,28 +193,10 @@ class CompileCache:
         The in-memory tier is untouched (it dies with the process); only
         the unbounded on-disk tier needs eviction.
         """
-        if max_bytes < 0:
-            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         # Orphans from killed writers never become entries, so evicting
         # only entries could leave the directory over budget forever.
         self._sweep_stale_temp_files(max_age_seconds=3600.0)
-        entries = sorted(self.disk_entries(), key=lambda e: (e[2], e[0]))
-        total = sum(size for _, size, _ in entries)
-        removed = 0
-        for target, size, _ in entries:
-            if total <= max_bytes:
-                break
-            try:
-                os.unlink(target)
-            except OSError:
-                continue
-            total -= size
-            removed += 1
-        return {
-            "removed": removed,
-            "remaining_entries": len(entries) - removed,
-            "remaining_bytes": total,
-        }
+        return lru_evict(self.disk_entries(), max_bytes)
 
 
 # -- session resolution and deprecation shims --------------------------------------

@@ -1,0 +1,75 @@
+"""Shared disk-tier maintenance: LRU eviction + stale temp-file sweeps.
+
+Both persistent tiers — the compile cache (``repro.exec.cache``) and the
+result store (``repro.api.store``) — are sharded directories of
+content-addressed files written atomically via ``.tmp-*`` temp files and
+``os.replace``, bounded by the same policy: evict least-recently-used
+entries (mtime order, exact ties broken on path so coarse 1s timestamps
+stay deterministic) until the tier fits a byte budget, and reclaim
+orphaned temp files from writers that died mid-write.  This module is
+the single home of that policy, so a boundary fix lands in both tiers
+at once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+#: Prefix marking an in-flight atomic write (``tempfile.mkstemp``).
+TEMP_PREFIX = ".tmp-"
+
+
+def sweep_stale_temp_files(root: str, max_age_seconds: float) -> None:
+    """Remove ``.tmp-*`` leftovers from writers that died mid-write.
+
+    ``max_age_seconds`` guards against deleting a temp file a live
+    concurrent writer is still about to ``os.replace``.  The comparison
+    is strict: filesystem mtimes can be as coarse as one second, so a
+    file stamped in the same second as the cutoff must count as *newer*
+    than it, or a just-created temp file would be swept out from under
+    its writer.
+    """
+    cutoff = time.time() - max_age_seconds
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            if not name.startswith(TEMP_PREFIX):
+                continue
+            target = os.path.join(dirpath, name)
+            try:
+                if os.stat(target).st_mtime < cutoff:
+                    os.unlink(target)
+            except OSError:
+                pass
+
+
+def lru_evict(rows: List[Tuple[str, int, float]],
+              max_bytes: int) -> Dict[str, int]:
+    """Unlink least-recently-used files until ``rows`` fit ``max_bytes``.
+
+    ``rows`` is ``[(path, bytes, mtime), ...]``; returns ``{"removed",
+    "remaining_entries", "remaining_bytes"}``.  Eviction order is
+    (mtime, path): coarse (1s) filesystem mtimes routinely produce
+    exact ties between files written in one burst, and the path
+    tie-break keeps the order deterministic across runs and platforms.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    rows = sorted(rows, key=lambda r: (r[2], r[0]))
+    total = sum(size for _, size, _ in rows)
+    removed = 0
+    for target, size, _ in rows:
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(target)
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return {
+        "removed": removed,
+        "remaining_entries": len(rows) - removed,
+        "remaining_bytes": total,
+    }

@@ -111,6 +111,9 @@ def run_tasks(
     if session is None:
         session = current_session()
     tasks = list(tasks)
+    # Parent-side dispatch counter: a store-replayed experiment must be
+    # able to prove it executed zero tasks.
+    session.tasks_executed += len(tasks)
     if jobs is None:
         jobs = session.jobs
     jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1

@@ -122,6 +122,19 @@ def task_key(**params) -> str:
     return ";".join(parts)
 
 
+def params_digest(namespace: Tuple, params: Dict) -> str:
+    """Content hash of a parameter mapping under a namespace tuple.
+
+    Shares :func:`task_key`'s canonicalization (sorted names, floats via
+    ``repr``) so every layer that identifies work by its parameters —
+    sweep-task seeding and the persistent result store alike — agrees on
+    what makes two parameter sets "the same".  ``namespace`` carries the
+    consumer's own invariants (schema versions, experiment name) into
+    the digest.
+    """
+    return _digest((namespace, task_key(**params)))
+
+
 def derive_seed(key: str, base: int = 0) -> int:
     """Deterministic 63-bit seed for the task identified by ``key``.
 

@@ -111,6 +111,45 @@ def test_from_dict_rejects_foreign_schema():
         )
 
 
+def test_schema_version_error_names_the_expected_version():
+    """The message must say which version would have been accepted."""
+    with pytest.raises(ValueError,
+                       match=rf"expected {RESULT_SCHEMA_VERSION}"):
+        ExperimentResult.from_dict(
+            {"schema": RESULT_SCHEMA, "schema_version": 999, "data": {}}
+        )
+
+
+def _tampered(payload, **fields):
+    tampered = dict(payload)
+    tampered.update(fields)
+    return tampered
+
+
+def test_from_dict_unknown_experiment_is_a_value_error():
+    """A payload naming an unregistered experiment must fail with the
+    offending value and the known set — never a raw registry KeyError."""
+    payload = Session().run("validation").to_dict()
+    with pytest.raises(ValueError,
+                       match=r"unknown experiment 'fig99'.*known:.*fig3"):
+        ExperimentResult.from_dict(_tampered(payload, experiment="fig99"))
+
+
+def test_from_dict_unknown_result_type_is_a_value_error():
+    payload = Session().run("validation").to_dict()
+    with pytest.raises(ValueError,
+                       match=r"unknown result type 'MadeUpResult'.*known:"):
+        ExperimentResult.from_dict(
+            _tampered(payload, result_type="MadeUpResult"))
+
+
+def test_from_dict_missing_data_is_a_value_error():
+    payload = Session().run("validation").to_dict()
+    del payload["data"]
+    with pytest.raises(ValueError, match="missing its 'data' field"):
+        ExperimentResult.from_dict(payload)
+
+
 def test_unregistered_dataclass_cannot_decode():
     from repro.api.serialize import decode
 

@@ -179,6 +179,23 @@ class TestRunExperiment:
             assert set(spec.quick) <= {p.name for p in spec.params}, name
 
 
+class TestTaskAccounting:
+    def test_run_tasks_counts_dispatched_tasks(self):
+        from repro.exec.engine import run_tasks
+
+        session = Session()
+        with session.activate():
+            run_tasks(len, [(1, 2), (3,)])
+        assert session.tasks_executed == 2
+        run_tasks(len, [(4,)], session=session)
+        assert session.tasks_executed == 3
+
+    def test_experiment_run_dispatches_tasks(self):
+        session = Session()
+        session.run("fig10", **TestRunExperiment.TINY)
+        assert session.tasks_executed > 0
+
+
 class TestWorkerInheritance:
     def test_workers_share_session_disk_cache(self, tmp_path):
         """Spawn workers compile into the session's cache directory, so a

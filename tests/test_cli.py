@@ -113,10 +113,26 @@ class TestListAndErrors:
         assert main(["run", "fig3", "--jobs", "0"]) == 2
 
     def test_unwritable_out_fails_cleanly(self, capsys, tmp_path):
+        # The out path *is* a directory: unwritable on every platform,
+        # even running as root (where chmod-based denial is a no-op).
+        assert main(["run", "validation", "--quick", "--format", "json",
+                     "--out", str(tmp_path), "--no-cache"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_out_creates_missing_parent_directories(self, capsys, tmp_path):
         target = tmp_path / "no" / "such" / "dir" / "f.json"
         assert main(["run", "validation", "--quick", "--format", "json",
-                     "--out", str(target), "--no-cache"]) == 2
-        assert "cannot write" in capsys.readouterr().err
+                     "--out", str(target), "--no-cache"]) == 0
+        json.loads(target.read_text())
+
+    def test_out_always_ends_with_a_newline(self, tmp_path):
+        from repro.__main__ import _emit
+
+        target = tmp_path / "payload.txt"
+        _emit("no trailing newline", str(target))
+        assert target.read_text().endswith("\n")
+        _emit("already terminated\n", str(target))
+        assert target.read_text() == "already terminated\n"
 
     def test_text_out_still_emits_timing_diagnostics(self, capsys,
                                                      tmp_path):
@@ -172,4 +188,100 @@ class TestCacheSubcommand:
     def test_prune_negative_max_size_fails_cleanly(self, capsys, tmp_path):
         assert main(["cache", "prune", "--max-size", "-1",
                      "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-size" in capsys.readouterr().err
+
+
+class TestCacheStatsAttribution:
+    def test_two_runs_report_disjoint_counts(self, capsys, tmp_path):
+        """The stats line after a run must reflect the session actually
+        activated for that run — two differently-configured runs in one
+        process never bleed counters into each other."""
+        cold = tmp_path / "cold-dir"
+        assert main(["run", "validation", "--quick",
+                     "--cache-dir", str(cold)]) == 0
+        first = capsys.readouterr().err
+        cold_line = [l for l in first.splitlines()
+                     if "compile cache" in l][0]
+        assert "0 memory hits, 0 disk hits, 5 misses" in cold_line
+
+        # Second invocation, same process, warm directory: its (fresh)
+        # session reports only its own disk hits — the first run's five
+        # misses must not reappear.
+        assert main(["run", "validation", "--quick",
+                     "--cache-dir", str(cold)]) == 0
+        second = capsys.readouterr().err
+        warm_line = [l for l in second.splitlines()
+                     if "compile cache" in l][0]
+        assert "5 disk hits, 0 misses" in warm_line
+        assert "5 misses" not in warm_line
+
+
+class TestStoreCLI:
+    def _json_run(self, capsys, store, *extra) -> str:
+        return _run_cli(capsys, "run", "validation", "--quick",
+                        "--format", "json", "--no-cache",
+                        "--store", str(store), *extra)
+
+    def test_replay_is_byte_identical(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        first = self._json_run(capsys, store)
+        second = self._json_run(capsys, store)
+        assert second == first
+
+        from repro.api import ResultStore
+
+        events = ResultStore(str(store)).ledger_entries()
+        assert [e["hit"] for e in events] == [False, True]
+
+    def test_replay_marks_the_diagnostic(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._json_run(capsys, store)
+        assert main(["run", "validation", "--quick", "--format", "json",
+                     "--no-cache", "--store", str(store)]) == 0
+        assert "replayed from result store" in capsys.readouterr().err
+
+    def test_force_recomputes(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        first = self._json_run(capsys, store)
+        forced = self._json_run(capsys, store, "--force")
+        assert forced == first
+
+        from repro.api import ResultStore
+
+        events = ResultStore(str(store)).ledger_entries()
+        assert [e["hit"] for e in events] == [False, False]
+
+    def test_ls_show_gc(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        payload = json.loads(self._json_run(capsys, store))
+
+        out = _run_cli(capsys, "store", "ls", "--store-dir", str(store))
+        assert "validation" in out
+        assert "1 stored result(s)" in out
+        key = out.split()[0]
+
+        shown = _run_cli(capsys, "store", "show", key[:12],
+                         "--format", "json", "--store-dir", str(store))
+        assert json.loads(shown) == payload
+        # Byte-identical to the run's --format json stdout.
+        assert shown == self._json_run(capsys, store)
+
+        text = _run_cli(capsys, "store", "show", key,
+                        "--store-dir", str(store))
+        assert ExperimentResult.from_dict(payload).format() in text
+
+        out = _run_cli(capsys, "store", "gc", "--max-size", "0",
+                       "--store-dir", str(store))
+        assert "removed 1 least-recently-used results" in out
+        out = _run_cli(capsys, "store", "ls", "--store-dir", str(store))
+        assert "0 stored result(s)" in out
+
+    def test_show_unknown_key_fails_cleanly(self, capsys, tmp_path):
+        assert main(["store", "show", "feedbeef",
+                     "--store-dir", str(tmp_path)]) == 2
+        assert "no stored result matches" in capsys.readouterr().err
+
+    def test_gc_negative_max_size_fails_cleanly(self, capsys, tmp_path):
+        assert main(["store", "gc", "--max-size", "-1",
+                     "--store-dir", str(tmp_path)]) == 2
         assert "--max-size" in capsys.readouterr().err

@@ -197,6 +197,21 @@ def test_prune_disk_evicts_lru_first(tmp_path):
     assert remaining[0][0] == entries[-1][0]
 
 
+def test_prune_disk_same_mtime_ties_break_on_path(tmp_path):
+    """Coarse (1s) filesystem mtimes routinely stamp entries written in
+    one burst with the *same* mtime; eviction order must stay
+    deterministic via the path tie-break, run after run."""
+    cache = _fill_cache(tmp_path)
+    paths = sorted(path for path, _, _ in cache.disk_entries())
+    for path in paths:
+        os.utime(path, (1_000_000, 1_000_000))  # exact three-way tie
+    keep_two = sum(size for _, size, _ in cache.disk_entries()) - 1
+    outcome = cache.prune_disk(keep_two)
+    assert outcome["removed"] == 1
+    # The lexicographically smallest path is evicted first.
+    assert sorted(p for p, _, _ in cache.disk_entries()) == paths[1:]
+
+
 def test_prune_disk_noop_under_budget(tmp_path):
     cache = _fill_cache(tmp_path)
     outcome = cache.prune_disk(10**9)
@@ -221,6 +236,7 @@ def test_clear_and_prune_sweep_orphaned_temp_files(tmp_path):
 
     with open(orphan, "wb") as handle:
         handle.write(b"x")
+    os.utime(orphan, (1, 1))  # long-dead writer again
     cache.clear_disk()
     assert not os.path.exists(orphan)
     assert cache.disk_stats()["entries"] == 0
@@ -235,3 +251,17 @@ def test_prune_keeps_fresh_temp_files(tmp_path):
         handle.write(b"x")
     cache.prune_disk(10**9)
     assert os.path.exists(in_flight)
+
+
+def test_clear_keeps_same_second_temp_files(tmp_path):
+    """The mtime-boundary regression: with 1s-granularity mtimes, a temp
+    file a live writer touched in the same second as the clear used to
+    fall to the `<=` cutoff and be swept mid-write.  It must survive."""
+    cache = _fill_cache(tmp_path)
+    shard = os.path.dirname(cache.disk_entries()[0][0])
+    in_flight = os.path.join(shard, ".tmp-live-writer.pkl")
+    with open(in_flight, "wb") as handle:
+        handle.write(b"x")  # mtime == "now", possibly floored to 1s
+    assert cache.clear_disk() == 3
+    assert os.path.exists(in_flight)
+    assert cache.disk_stats()["entries"] == 0

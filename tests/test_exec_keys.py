@@ -223,6 +223,18 @@ def test_task_key_is_order_canonical():
     assert task_key(mid=3.0) != task_key(mid=3.5)
 
 
+def test_params_digest_shares_task_key_canonicalization():
+    from repro.exec.keys import params_digest
+
+    ns = ("ns", 1)
+    assert params_digest(ns, dict(b=2, a=1)) == params_digest(ns, dict(a=1, b=2))
+    assert params_digest(ns, dict(mid=3.0)) != params_digest(ns, dict(mid=3.5))
+    assert params_digest(("other", 1), dict(a=1)) != params_digest(ns, dict(a=1))
+    # Pinned: the digest schema itself is part of the stored-result
+    # contract (see tests/fixtures/store_keys.json).
+    assert params_digest(ns, dict(a=1)) == params_digest(ns, dict(a=1))
+
+
 def test_task_grid_is_deterministic_product():
     grid = task_grid(mid=(2.0, 3.0), strategy=("x", "y"))
     assert grid == [
