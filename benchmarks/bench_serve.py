@@ -1,0 +1,51 @@
+"""Serving-layer bench — warm-path request throughput.
+
+Starts a real ``repro.serve`` server (ephemeral port, temp store) over a
+pre-populated result, then times warm ``POST /run`` requests end to end
+— socket, routing, store read, canonical-JSON bytes out.  The warm path
+is the serving workload the north star cares about: it must stay a pure
+store lookup (zero queue submissions after the first run) and answer
+orders of magnitude faster than the execution that populated it.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.serve import build_server
+
+
+def _post_run(port: int) -> bytes:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/run",
+        data=json.dumps({"experiment": "validation", "quick": True,
+                         "wait": True}).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return response.read()
+
+
+def test_serve_warm_request_throughput(benchmark, tmp_path):
+    server = build_server("127.0.0.1", 0, str(tmp_path / "store"),
+                          str(tmp_path / "cache"), workers=2, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        populate_start = time.perf_counter()
+        cold = _post_run(server.port)
+        populate_wall = time.perf_counter() - populate_start
+
+        warm = benchmark(_post_run, server.port)
+
+        assert warm == cold
+        snapshot = server.app.metrics.snapshot()
+        # Exactly the populating request went through the queue; every
+        # timed request was a store hit.
+        assert snapshot["jobs"]["submitted"] == 1
+        assert snapshot["store"]["hits"] >= 1
+        assert benchmark.stats.stats.mean < populate_wall
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)

@@ -11,8 +11,10 @@ Usage::
     python -m repro cache stats
     python -m repro cache prune --max-size 256
     python -m repro store ls
+    python -m repro store ls --last 20
     python -m repro store show KEY --format json
     python -m repro store gc --max-size 64
+    python -m repro serve --port 8000 --store /tmp/repro-store --jobs 2
 
 Every run executes under a :class:`repro.api.Session` built from the
 flags — no process-global execution state.  ``--format text`` (the
@@ -36,6 +38,11 @@ read-through against a persistent result store (``--force`` recomputes
 and refreshes the stored entry).  Figure output goes to stdout and
 timing diagnostics to stderr, so redirected output is byte-comparable
 between runs sharing a warm cache — or replayed from the store.
+
+``serve`` starts the HTTP serving layer (:mod:`repro.serve`) over a
+result store: cached results are answered from disk, misses run on a
+background job queue.  Ctrl-C anywhere exits with the conventional
+SIGINT status 130 after cleaning up (no orphaned cache temp files).
 """
 
 from __future__ import annotations
@@ -207,6 +214,21 @@ def _cmd_cache(args) -> int:
 def _cmd_store(args) -> int:
     store = ResultStore(_resolve_store_dir(args.store_dir))
 
+    if args.store_command == "ls" and args.last is not None:
+        if args.last < 1:
+            print("--last must be >= 1", file=sys.stderr)
+            return 2
+        # The bounded tail reader: a huge store's recent activity view
+        # must not walk every entry or slurp the whole ledger.
+        events = store.tail(args.last)
+        for event in events:
+            outcome = "hit " if event.get("hit") else "miss"
+            print(f"{outcome}  {event.get('experiment', '?'):22s} "
+                  f"{str(event.get('key', '?'))[:16]}  "
+                  f"{event.get('wall_s', 0.0):8.3f}s")
+        print(f"last {len(events)} run(s) recorded in {store.ledger_path()}")
+        return 0
+
     if args.store_command == "ls":
         rows = sorted(store.entries(), key=lambda r: (r[3], r[1]))
         for key, _, size, _ in rows:
@@ -259,6 +281,56 @@ def _cmd_store(args) -> int:
               f"({outcome['remaining_bytes'] / 1e6:.2f} MB) in {store.path}")
         return 0
     raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
+def _cmd_serve(args) -> int:
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    import signal
+
+    from repro.serve.http import build_server
+
+    # Non-interactive shells start backgrounded children with SIGINT
+    # set to SIG_IGN, and Python then never installs its
+    # KeyboardInterrupt handler — `kill -INT` on a `serve &` would be
+    # silently ignored.  A long-lived server must be stoppable, so
+    # re-install the default handler; SIGTERM (the service-manager
+    # spelling of "stop") takes the same clean-shutdown path.
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, signal.default_int_handler)
+    signal.signal(signal.SIGTERM, _raise_interrupt)
+
+    try:
+        server = build_server(
+            host=args.host,
+            port=args.port,
+            store_dir=_resolve_store_dir(args.store),
+            cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+            workers=args.jobs,
+            quiet=args.quiet,
+        )
+    except OSError as error:
+        # Port in use, privileged port, unresolvable host: one stderr
+        # line and the conventional CLI failure status, not a traceback.
+        print(f"cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"[serving experiments on http://{host}:{port} — "
+          f"store {server.app.store.path}, {args.jobs} job worker(s); "
+          "endpoints: /experiments /results/<key> /run /jobs/<id> "
+          "/metrics /healthz; stop with Ctrl-C]", file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        # Runs on Ctrl-C too: stop accepting connections, drain the job
+        # queue, and only then let the KeyboardInterrupt propagate to
+        # main()'s exit-code handler.
+        server.close()
+    return 0
 
 
 def main(argv=None) -> int:
@@ -346,8 +418,14 @@ def main(argv=None) -> int:
     )
     store_sub = store_parser.add_subparsers(
         dest="store_command", required=True)
-    store_sub.add_parser("ls", parents=[store_dir_parent],
-                         help="list stored results (key, experiment, size)")
+    ls_parser = store_sub.add_parser(
+        "ls", parents=[store_dir_parent],
+        help="list stored results (key, experiment, size)")
+    ls_parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="instead of the entry listing, show the last N runs from "
+             "the ledger (bounded read — safe on a huge store)",
+    )
     show_parser = store_sub.add_parser(
         "show", parents=[store_dir_parent],
         help="print one stored result by key (unique prefixes accepted)")
@@ -364,15 +442,59 @@ def main(argv=None) -> int:
         "--max-size", type=float, required=True, metavar="MB",
         help="target size of the stored entries, in megabytes",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve experiments over HTTP (see repro.serve)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8000, metavar="P",
+        help="listen port (default 8000; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory served from and persisted into "
+             "(default: $REPRO_STORE_DIR, else ~/.cache/repro/results)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="concurrent experiment jobs (queue worker threads; each "
+             "job's sweep grid runs inline)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="compile-cache directory shared by all jobs (default: "
+             "$REPRO_CACHE_DIR, else ~/.cache/repro/compile)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk compile cache (memory-only)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-request access log on stderr",
+    )
     args = parser.parse_args(argv)
 
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "store":
-        return _cmd_store(args)
-    return _cmd_run(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        return _cmd_run(args)
+    except KeyboardInterrupt:
+        # The engine has already cancelled its workers and reclaimed
+        # cache temp files by the time the interrupt reaches here;
+        # exit with the conventional SIGINT status instead of a
+        # traceback.
+        print("[interrupted]", file=sys.stderr)
+        return 130
 
 
 def _print_cache_stats(session: Session, before=None) -> None:

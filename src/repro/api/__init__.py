@@ -13,9 +13,12 @@ anything that embeds it — the CLI, services, notebooks:
   text plus ``to_dict()``/``from_dict()`` for schema-stable JSON;
 * :class:`ResultStore` / :func:`store_key` — the persistent
   content-addressed store of result envelopes behind read-through
-  ``Session(store_dir=...).run``.
+  ``Session(store_dir=...).run``;
+* :class:`RemoteSession` — the same ``run()`` surface backed by a
+  ``python -m repro serve`` endpoint instead of local execution.
 """
 
+from repro.api.client import RemoteRunError, RemoteSession
 from repro.api.registry import (
     ExperimentSpec,
     ParamSpec,
@@ -43,6 +46,8 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "ParamSpec",
+    "RemoteRunError",
+    "RemoteSession",
     "ResultStore",
     "Session",
     "all_experiments",

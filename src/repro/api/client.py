@@ -1,0 +1,156 @@
+"""A Session whose backend is a running ``repro serve`` server.
+
+:class:`RemoteSession` makes "a backend = a Session policy" literal: it
+exposes the same ``run(experiment, quick=..., force=..., **params)``
+call as :class:`repro.api.Session`, but proxies the execution to a
+serving endpoint over HTTP and decodes the returned envelope through
+``ExperimentResult.from_dict`` — so call sites can swap a local session
+for a remote one without changing shape:
+
+    from repro.api import RemoteSession
+
+    session = RemoteSession("http://127.0.0.1:8000")
+    result = session.run("fig10", quick=True)
+    print(result.format())          # same object contract as Session.run
+
+Server-side errors map back onto the exceptions the local session would
+raise: an unknown experiment is a ``KeyError``, a bad parameter is a
+``TypeError``/``ValueError`` (transported as HTTP 4xx), and a failed
+execution surfaces as :class:`RemoteRunError` (HTTP 5xx).  Only the
+standard library is used (``urllib``), like everything else here.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.api.results import ExperimentResult
+
+
+class RemoteRunError(RuntimeError):
+    """A run failed on the server (the transported job error)."""
+
+
+def _decode_error(error: urllib.error.HTTPError) -> tuple:
+    """``(message, error_type)`` from a server error body.
+
+    ``error_type`` is the server's structured name for the local
+    exception class (see ``repro.serve.app._error``); ``None`` when the
+    body carries none.
+    """
+    try:
+        payload = json.loads(error.read().decode("utf-8", "replace"))
+        return str(payload.get("error", payload)), payload.get("error_type")
+    except ValueError:
+        return f"HTTP {error.code}", None
+
+
+class RemoteSession:
+    """Run registered experiments against a remote serving endpoint."""
+
+    def __init__(self, base_url: str, timeout: Optional[float] = None):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: Server-reported outcome counters for this client's run()
+        #: calls — the RemoteSession analogue of ``ResultStore.hits`` /
+        #: ``misses`` on a local read-through session.
+        self.hits = 0
+        self.misses = 0
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None):
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        response = urllib.request.urlopen(request, timeout=self.timeout)
+        with response:
+            return response, json.loads(response.read().decode("utf-8"))
+
+    def _get(self, path: str) -> Dict[str, Any]:
+        _, decoded = self._request("GET", path)
+        return decoded
+
+    # -- the Session-shaped surface ----------------------------------------------
+
+    def run(self, experiment: str, quick: bool = False,
+            force: bool = False, **params) -> ExperimentResult:
+        """Run ``experiment`` on the server and decode the result.
+
+        Blocks until the server has an envelope (a store hit returns
+        immediately; a miss waits for the job).  Raises ``KeyError`` for
+        an unknown experiment, ``TypeError``/``ValueError`` for invalid
+        parameters, and :class:`RemoteRunError` when the server-side
+        execution itself failed.
+        """
+        try:
+            response, envelope = self._request("POST", "/run", {
+                "experiment": experiment,
+                "quick": quick,
+                "force": force,
+                "params": params,
+                "wait": True,
+            })
+        except urllib.error.HTTPError as error:
+            message, error_type = _decode_error(error)
+            if error.code == 404:
+                raise KeyError(message) from None
+            if error.code == 400:
+                if error_type == "TypeError":
+                    raise TypeError(message) from None
+                raise ValueError(message) from None
+            raise RemoteRunError(message) from None
+        if response.headers.get("X-Repro-Store") == "hit":
+            self.hits += 1
+        else:
+            self.misses += 1
+        return ExperimentResult.from_dict(envelope)
+
+    def submit(self, experiment: str, quick: bool = False,
+               force: bool = False, **params) -> Dict[str, Any]:
+        """Enqueue without waiting; returns the job description
+        (or, on a store hit, the envelope itself)."""
+        _, decoded = self._request("POST", "/run", {
+            "experiment": experiment,
+            "quick": quick,
+            "force": force,
+            "params": params,
+            "wait": False,
+        })
+        return decoded
+
+    # -- read-only views ---------------------------------------------------------
+
+    def experiments(self) -> Dict[str, Dict[str, Any]]:
+        """The server's registry, keyed by experiment name."""
+        listing = self._get("/experiments")["experiments"]
+        return {spec["name"]: spec for spec in listing}
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The stored envelope under ``key`` (``KeyError`` on a miss)."""
+        try:
+            return self._get(f"/results/{key}")
+        except urllib.error.HTTPError as error:
+            if error.code in (400, 404):
+                raise KeyError(_decode_error(error)[0]) from None
+            raise
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        try:
+            return self._get(f"/jobs/{job_id}")
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                raise KeyError(_decode_error(error)[0]) from None
+            raise
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._get("/metrics")
+
+    def __repr__(self) -> str:
+        return f"RemoteSession({self.base_url!r})"

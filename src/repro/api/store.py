@@ -237,13 +237,8 @@ class ResultStore:
             # degrade is announced once on stderr.
             self._warn_unwritable(error)
 
-    def ledger_entries(self) -> List[Dict[str, Any]]:
-        """Every ledger line, oldest first (malformed lines skipped)."""
-        try:
-            with open(self.ledger_path(), "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except OSError:
-            return []
+    @staticmethod
+    def _parse_ledger_lines(lines) -> List[Dict[str, Any]]:
         entries = []
         for line in lines:
             try:
@@ -253,6 +248,50 @@ class ResultStore:
             if isinstance(entry, dict):
                 entries.append(entry)
         return entries
+
+    def ledger_entries(self) -> List[Dict[str, Any]]:
+        """Every ledger line, oldest first (malformed lines skipped)."""
+        try:
+            with open(self.ledger_path(), "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        return self._parse_ledger_lines(lines)
+
+    def tail(self, n: int) -> List[Dict[str, Any]]:
+        """The valid entries among the last ``n`` ledger lines, oldest
+        first — **bounded**: reads backwards from the end of the file in
+        fixed-size blocks, so a long-lived server polling its recent
+        activity never pays for (or holds in memory) the whole
+        append-only history.  Malformed lines in the window are skipped,
+        like :meth:`ledger_entries`.
+        """
+        if n <= 0:
+            return []
+        try:
+            handle = open(self.ledger_path(), "rb")
+        except OSError:
+            return []
+        block = 1 << 16
+        with handle:
+            handle.seek(0, os.SEEK_END)
+            position = handle.tell()
+            data = b""
+            # n+1 newlines guarantee n complete trailing lines even when
+            # the file ends mid-line (a writer between write and flush).
+            while position > 0 and data.count(b"\n") <= n:
+                step = min(block, position)
+                position -= step
+                handle.seek(position)
+                data = handle.read(step) + data
+        lines = data.split(b"\n")
+        if position > 0:
+            # The first chunk border almost certainly split a line.
+            lines = lines[1:]
+        tail_lines = [line for line in lines if line][-n:]
+        return self._parse_ledger_lines(
+            line.decode("utf-8", "replace") for line in tail_lines
+        )
 
     # -- maintenance -------------------------------------------------------------
 

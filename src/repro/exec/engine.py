@@ -27,6 +27,7 @@ processes share compile work.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -83,6 +84,13 @@ def sweep_settings(jobs: Optional[int] = None,
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group.  Workers must not also raise KeyboardInterrupt mid-task
+    # (half-written state, a traceback storm, and a pool that can hang
+    # in shutdown): the parent alone handles the interrupt, cancels the
+    # pending futures, and lets the workers exit via pool shutdown.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
     # Mirror the parent session's cache policy exactly — including
     # "disabled".  A worker must not fall back to REPRO_CACHE_DIR from
     # the inherited environment when the parent session explicitly runs
@@ -90,6 +98,27 @@ def _worker_init(cache_dir: Optional[str]) -> None:
     from repro.api.session import Session, install_default
 
     install_default(Session(jobs=1, cache_dir=cache_dir))
+
+
+def _reclaim_interrupted_temp_files(cache) -> None:
+    """Sweep ``.tmp-*`` files after an interrupted sweep.
+
+    Called only once every writer this run owned has stopped (inline
+    execution, or after ``pool.shutdown(wait=True)``), so any temp file
+    of ours still on disk is an orphan from a writer that died between
+    ``mkstemp`` and ``os.replace``.  The cache directory is shared,
+    though: another process (a server, a second CLI run) may be
+    mid-write right now, and deleting *its* temp file would silently
+    lose that persist (``os.replace`` failures degrade to memory-only).
+    The same one-second grace as ``CompileCache.clear_disk`` protects
+    such writers at any mtime granularity; an orphan of ours younger
+    than that survives to the next maintenance pass (``gc``/``prune``/
+    ``clear``) instead.
+    """
+    from repro.exec.diskutil import sweep_stale_temp_files
+
+    if cache is not None and cache.path is not None:
+        sweep_stale_temp_files(cache.path, max_age_seconds=1.0)
 
 
 def run_tasks(
@@ -119,8 +148,12 @@ def run_tasks(
     jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1
 
     if jobs == 1:
-        with session.activate():
-            return [task_fn(task) for task in tasks]
+        try:
+            with session.activate():
+                return [task_fn(task) for task in tasks]
+        except KeyboardInterrupt:
+            _reclaim_interrupted_temp_files(session.cache)
+            raise
 
     context = multiprocessing.get_context("spawn")
     pool = ProcessPoolExecutor(
@@ -132,10 +165,15 @@ def run_tasks(
     try:
         futures = [pool.submit(task_fn, task) for task in tasks]
         return [future.result() for future in futures]
-    except BaseException:
+    except BaseException as error:
         # Fail fast: don't let a 200-cell grid grind on for minutes
         # after cell 3 has already doomed the sweep.
         pool.shutdown(wait=True, cancel_futures=True)
+        if isinstance(error, KeyboardInterrupt):
+            # Every worker has exited: reclaim the temp files of any
+            # writer the interrupt killed mid-write, so Ctrl-C leaves
+            # no orphaned .tmp-* litter in the shared cache directory.
+            _reclaim_interrupted_temp_files(session.cache)
         raise
     finally:
         pool.shutdown(wait=True)

@@ -1,0 +1,37 @@
+"""The experiment-serving subsystem.
+
+``python -m repro serve --port P --store DIR --jobs N`` turns the
+registry + session + result-store stack into a long-lived HTTP JSON
+service: cached results are served straight from the
+:class:`~repro.api.store.ResultStore`, misses run on a background job
+queue with in-flight deduplication, and everything a run produces
+persists back into the store so replays are free.
+
+Layering (each importable and testable on its own):
+
+* :mod:`repro.serve.metrics` — thread-safe counters behind ``/metrics``;
+* :mod:`repro.serve.jobs` — the job queue: worker threads, lifecycle,
+  dedup, per-job :class:`~repro.api.Session` isolation;
+* :mod:`repro.serve.app` — transport-free request routing;
+* :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` shell and
+  :func:`build_server`, which wires the whole stack.
+
+The matching client is :class:`repro.api.client.RemoteSession`, whose
+``run()`` proxies to a server — a backend really is just a Session
+policy.
+"""
+
+from repro.serve.app import Response, ServeApp
+from repro.serve.http import ReproHTTPServer, build_server
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.metrics import ServeMetrics
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ReproHTTPServer",
+    "Response",
+    "ServeApp",
+    "ServeMetrics",
+    "build_server",
+]

@@ -1,0 +1,253 @@
+"""Request routing for the serving layer — transport-free.
+
+:class:`ServeApp` maps ``(method, path, body)`` to a :class:`Response`;
+the HTTP transport (:mod:`repro.serve.http`) is a thin shell around it,
+and tests can drive the full routing/queue/store stack without opening a
+socket.
+
+Endpoints::
+
+    GET  /healthz            liveness + uptime
+    GET  /experiments        every registered ExperimentSpec (param
+                             schema, defaults, --quick preset)
+    GET  /experiments/<name> one spec
+    GET  /results/<key>      the stored envelope — byte-identical to
+                             `python -m repro run X --format json`
+    POST /run                resolve params -> store key; serve a hit
+                             directly, queue a miss ({"wait": true}
+                             blocks for the result bytes)
+    GET  /jobs/<id>          job lifecycle/status
+    GET  /metrics            counters + queue state + recent ledger tail
+
+Every response body is JSON.  Result-envelope bodies are rendered with
+:func:`repro.api.store.canonical_json`, the single spelling of envelope
+bytes across the CLI, the store, and this server — which is what makes
+the byte-identity contract in the tests a construction, not a
+coincidence.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.registry import ExperimentSpec, all_experiments
+from repro.api.store import ResultStore, canonical_json, store_key
+from repro.serve.jobs import FAILED, JobQueue
+from repro.serve.metrics import ServeMetrics
+
+#: A full store key: SHA-256 hex.  Anything else in /results/<key> is
+#: rejected before it can reach the filesystem layer.
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Ledger window summarized in GET /metrics.
+RECENT_WINDOW = 100
+
+
+@dataclass
+class Response:
+    """One routed response: status, JSON body bytes, extra headers."""
+
+    status: int
+    body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _json_response(status: int, payload: Any,
+                   headers: Optional[Dict[str, str]] = None) -> Response:
+    return Response(status, canonical_json(payload).encode(),
+                    dict(headers or {}))
+
+
+def _error(status: int, message: str,
+           error_type: Optional[str] = None) -> Response:
+    """A JSON error body; ``error_type`` names the local exception the
+    failure corresponds to, so clients (RemoteSession) can re-raise the
+    right type without parsing the human-readable message."""
+    payload: Dict[str, Any] = {"error": message}
+    if error_type is not None:
+        payload["error_type"] = error_type
+    return _json_response(status, payload)
+
+
+def _jsonable(value: Any) -> Any:
+    """A JSON-compatible rendering of a spec default / preset value.
+
+    Parameter defaults are primitives or tuples of primitives; anything
+    exotic degrades to ``repr`` rather than failing the whole listing.
+    """
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+def _describe_spec(spec: ExperimentSpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "doc": spec.doc,
+        "result_type": spec.result_type.__name__,
+        "params": [
+            {"name": p.name, "default": _jsonable(p.default),
+             "required": p.required}
+            for p in spec.params
+        ],
+        "quick": {name: _jsonable(value)
+                  for name, value in spec.quick.items()},
+    }
+
+
+class ServeApp:
+    """The serving layer's router over one store + one job queue."""
+
+    def __init__(self, store: ResultStore, jobs: JobQueue,
+                 metrics: Optional[ServeMetrics] = None):
+        self.store = store
+        self.jobs = jobs
+        self.metrics = metrics if metrics is not None else jobs.metrics
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Route one request; never raises (unexpected failures → 500)."""
+        route, response = self._dispatch(method, path.split("?", 1)[0], body)
+        self.metrics.count_request(route, response.status)
+        return response
+
+    def _dispatch(self, method: str, path: str,
+                  body: bytes) -> Tuple[str, Response]:
+        try:
+            if path == "/healthz" and method == "GET":
+                return "GET /healthz", self._healthz()
+            if path == "/experiments" and method == "GET":
+                return "GET /experiments", self._experiments()
+            if path.startswith("/experiments/") and method == "GET":
+                return ("GET /experiments/<name>",
+                        self._experiment(path[len("/experiments/"):]))
+            if path.startswith("/results/") and method == "GET":
+                return ("GET /results/<key>",
+                        self._result(path[len("/results/"):]))
+            if path == "/run" and method == "POST":
+                return "POST /run", self._run(body)
+            if path.startswith("/jobs/") and method == "GET":
+                return "GET /jobs/<id>", self._job(path[len("/jobs/"):])
+            if path == "/metrics" and method == "GET":
+                return "GET /metrics", self._metrics()
+            return (f"{method} (unrouted)",
+                    _error(404, f"no route for {method} {path}"))
+        except Exception as error:  # pragma: no cover - defensive boundary
+            return (f"{method} (failed)",
+                    _error(500, f"{type(error).__name__}: {error}"))
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        return _json_response(200, {
+            "status": "ok",
+            "uptime_s": self.metrics.snapshot()["uptime_s"],
+        })
+
+    def _experiments(self) -> Response:
+        return _json_response(200, {
+            "experiments": [_describe_spec(spec)
+                            for spec in all_experiments().values()],
+        })
+
+    def _experiment(self, name: str) -> Response:
+        spec = all_experiments().get(name)
+        if spec is None:
+            return _error(404, f"unknown experiment {name!r}")
+        return _json_response(200, _describe_spec(spec))
+
+    def _result(self, key: str) -> Response:
+        if not _KEY_RE.match(key):
+            return _error(400, "a result key is 64 lowercase hex digits")
+        envelope = self.store.get(key)
+        if envelope is None:
+            return _error(404, f"no stored result under key {key[:16]}…")
+        self.metrics.count("results_served")
+        return Response(200, canonical_json(envelope).encode(),
+                        {"X-Repro-Key": key})
+
+    def _run(self, body: bytes) -> Response:
+        try:
+            request = json.loads(body or b"{}")
+        except ValueError:
+            return _error(400, "request body must be JSON")
+        if not isinstance(request, dict):
+            return _error(400, "request body must be a JSON object")
+        experiment = request.get("experiment")
+        if not isinstance(experiment, str):
+            return _error(400, 'request needs an "experiment" name')
+        spec = all_experiments().get(experiment)
+        if spec is None:
+            return _error(404, f"unknown experiment {experiment!r}")
+        quick = bool(request.get("quick", False))
+        force = bool(request.get("force", False))
+        wait = bool(request.get("wait", False))
+        params = request.get("params")
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            # Checked before any falsy coercion: a client sending the
+            # wrong shape ([], false, "") must get the 400, not a
+            # silently-accepted default-params run.
+            return _error(400, '"params" must be a JSON object')
+        try:
+            resolved = spec.resolved_params(quick=quick, overrides=params)
+            key = store_key(experiment, resolved)
+        except (TypeError, ValueError) as error:
+            return _error(400, str(error), type(error).__name__)
+
+        if not force:
+            start = time.perf_counter()
+            envelope = self.store.get(key)
+            if envelope is not None:
+                # Served straight from the store: ledger it like any
+                # other read-through hit, so /metrics' recent window
+                # sees served traffic, not only queue traffic.
+                self.store.record(key, experiment,
+                                  time.perf_counter() - start, hit=True)
+                self.metrics.count("store_hits")
+                return Response(200, canonical_json(envelope).encode(),
+                                {"X-Repro-Store": "hit", "X-Repro-Key": key})
+
+        self.metrics.count("store_misses")
+        job, coalesced = self.jobs.submit(experiment, key, quick, params,
+                                          force=force)
+        if not wait:
+            payload = job.describe()
+            payload["coalesced"] = coalesced
+            return _json_response(202, payload, {"X-Repro-Store": "miss",
+                                                 "X-Repro-Key": key})
+        job.wait()
+        if job.status == FAILED:
+            return _error(500, f"job {job.id} failed: {job.error}")
+        return Response(200, canonical_json(job.envelope).encode(),
+                        {"X-Repro-Store": "miss", "X-Repro-Key": key,
+                         "X-Repro-Job": job.id})
+
+    def _job(self, job_id: str) -> Response:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return _error(404, f"unknown job {job_id!r}")
+        return _json_response(200, job.describe())
+
+    def _metrics(self) -> Response:
+        recent = self.store.tail(RECENT_WINDOW)
+        hits = sum(1 for entry in recent if entry.get("hit"))
+        return _json_response(200, {
+            **self.metrics.snapshot(),
+            "queue": self.jobs.describe(),
+            "store_dir": self.store.path,
+            "recent_runs": {
+                "window": RECENT_WINDOW,
+                "events": len(recent),
+                "hits": hits,
+                "misses": len(recent) - hits,
+            },
+        })

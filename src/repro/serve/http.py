@@ -1,0 +1,111 @@
+"""HTTP transport for the serving layer.
+
+A :class:`ThreadingHTTPServer` whose handler forwards every request to a
+:class:`repro.serve.app.ServeApp` — the transport adds nothing but
+sockets, headers, and an access-log line on stderr (stdout stays clean,
+the same contract as the CLI).  ``build_server`` wires the full stack:
+
+    store + compile cache
+        -> per-job Session factory (read-through, shared cache/store)
+        -> JobQueue (N worker threads, in-flight dedup)
+        -> ServeApp (routing + metrics)
+        -> ReproHTTPServer
+
+Thread model: the HTTP server spawns one thread per connection (cheap:
+handlers only route, queue, and read the store), while experiment
+execution is bounded by the job queue's worker count.  A ``wait=true``
+run request parks its connection thread on the job's completion event
+without occupying a queue worker.
+"""
+
+from __future__ import annotations
+
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.api.session import Session
+from repro.api.store import ResultStore
+from repro.exec.cache import CompileCache
+from repro.serve.app import ServeApp
+from repro.serve.jobs import JobQueue
+from repro.serve.metrics import ServeMetrics
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Transport shim: socket + headers in, ServeApp response out."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        response = self.server.app.handle(self.command, self.path, body)
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+
+    def log_message(self, format: str, *args) -> None:
+        # Access log to stderr, like every other repro diagnostic; the
+        # server owns no stdout at all.
+        if not getattr(self.server, "quiet", False):
+            print(f"[serve] {self.address_string()} {format % args}",
+                  file=sys.stderr)
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """The serving endpoint: one app, one queue, per-connection threads."""
+
+    daemon_threads = True
+
+    def __init__(self, address, app: ServeApp, quiet: bool = False):
+        super().__init__(address, ReproRequestHandler)
+        self.app = app
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def close(self) -> None:
+        """Stop accepting connections and drain the job queue."""
+        self.server_close()
+        self.app.jobs.shutdown(wait=True)
+
+
+def build_server(
+    host: str,
+    port: int,
+    store_dir: str,
+    cache_dir: Optional[str] = None,
+    workers: int = 2,
+    quiet: bool = False,
+) -> ReproHTTPServer:
+    """Assemble the full serving stack on ``host:port`` (0 = ephemeral).
+
+    All jobs share one compile cache and one result store; each job gets
+    its own read-through :class:`Session` (sweeps run inline, ``jobs=1``
+    — concurrency comes from the queue's ``workers`` threads, not from
+    nested process pools).
+    """
+    store = ResultStore(store_dir)
+    cache = CompileCache(cache_dir)
+    metrics = ServeMetrics()
+    jobs = JobQueue(
+        lambda: Session(jobs=1, cache=cache, store=store),
+        workers=workers,
+        metrics=metrics,
+    )
+    app = ServeApp(store=store, jobs=jobs, metrics=metrics)
+    return ReproHTTPServer((host, port), app, quiet=quiet)

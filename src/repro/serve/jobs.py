@@ -1,0 +1,236 @@
+"""Background execution: the serving layer's job queue.
+
+A ``POST /run`` that misses the result store does not compute inline in
+the request handler — it becomes a :class:`Job` on a :class:`JobQueue`,
+executed by one of N worker threads.  Three properties matter:
+
+* **In-flight deduplication.**  Concurrent requests for the same store
+  key coalesce onto one job (``submit`` returns the existing in-flight
+  job), so a thundering herd of identical requests performs exactly one
+  execution.  The store-check in the router and ``submit`` are not
+  atomic, and do not need to be: every job runs through a read-through
+  session, so a job submitted just after an identical one finished
+  replays the freshly-stored envelope and executes zero tasks.
+
+* **Per-job session isolation.**  Each job executes under its *own*
+  :class:`repro.api.Session` (built by the queue's ``session_factory``),
+  sharing the server's compile cache and result store objects but
+  nothing else — so ``Session.tasks_executed`` attributes work to the
+  job that did it, and two jobs activating their sessions in different
+  worker threads never see each other's policy (``contextvars`` scoping
+  is per-thread).
+
+* **Observability.**  A job carries its full lifecycle (``queued`` →
+  ``running`` → ``done``/``failed``), wall time, task count, and — on
+  success — the result envelope, which ``GET /jobs/<id>`` exposes.
+
+``force=True`` jobs opt out of deduplication in both directions: they
+exist to recompute, so neither attaching them to an in-flight job nor
+letting later requests attach to *them* (and observe a result the
+requester did not force) would be correct.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.serve.metrics import ServeMetrics
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class Job:
+    """One queued experiment execution and its observable lifecycle."""
+
+    id: str
+    experiment: str
+    key: str
+    quick: bool
+    params: Dict[str, Any]
+    force: bool = False
+    status: str = QUEUED
+    error: Optional[str] = None
+    #: ``to_dict()`` envelope of the result, set when the job succeeds.
+    envelope: Optional[Dict[str, Any]] = None
+    wall_s: Optional[float] = None
+    #: The job session's dispatch counter after the run — zero when the
+    #: read-through session replayed a stored envelope.
+    tasks_executed: Optional[int] = None
+    created_at: float = field(default_factory=time.time)
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; ``True`` unless timed out."""
+        return self._done.wait(timeout)
+
+    def describe(self) -> Dict[str, Any]:
+        """The JSON shape ``GET /jobs/<id>`` returns."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "experiment": self.experiment,
+            "key": self.key,
+            "status": self.status,
+            "quick": self.quick,
+            "force": self.force,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.wall_s is not None:
+            payload["wall_s"] = round(self.wall_s, 4)
+        if self.tasks_executed is not None:
+            payload["tasks_executed"] = self.tasks_executed
+        if self.status == DONE:
+            payload["result_url"] = f"/results/{self.key}"
+        return payload
+
+
+class JobQueue:
+    """N worker threads draining a FIFO of :class:`Job` instances.
+
+    ``session_factory`` builds one fresh read-through
+    :class:`repro.api.Session` per job; sharing the underlying
+    ``CompileCache``/``ResultStore`` objects between those sessions is
+    the factory's (deliberate) choice, not the queue's concern.
+    """
+
+    def __init__(self, session_factory: Callable[[], Any], workers: int = 2,
+                 metrics: Optional[ServeMetrics] = None,
+                 max_finished: int = 1024):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_finished < 1:
+            raise ValueError(f"max_finished must be >= 1, got {max_finished}")
+        self._session_factory = session_factory
+        #: Terminal jobs retained for GET /jobs/<id>; beyond this the
+        #: oldest are forgotten, bounding a long-lived server's memory.
+        self._max_finished = max_finished
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        #: store key -> the queued/running (non-force) job computing it.
+        self._inflight: Dict[str, Job] = {}
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-serve-job-{index}")
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lookup -----------------------------------------------------
+
+    def submit(self, experiment: str, key: str, quick: bool,
+               params: Dict[str, Any],
+               force: bool = False) -> Tuple[Job, bool]:
+        """Enqueue one execution, coalescing onto an in-flight duplicate.
+
+        Returns ``(job, coalesced)``; ``coalesced`` is ``True`` when the
+        returned job was already in flight for the same store key.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("job queue is shut down")
+            if not force:
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self.metrics.count("jobs_coalesced")
+                    return existing, True
+            job = Job(id=uuid.uuid4().hex[:12], experiment=experiment,
+                      key=key, quick=quick, params=dict(params), force=force)
+            self._jobs[job.id] = job
+            if not force:
+                self._inflight[key] = job
+            self.metrics.count("jobs_submitted")
+            # Enqueue under the lock: a put racing shutdown() could
+            # otherwise land behind the worker sentinels and leave the
+            # job QUEUED forever (hanging every wait() on it).
+            self._queue.put(job)
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def describe(self) -> Dict[str, Any]:
+        """Queue-level state for ``GET /metrics``."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "workers": len(self._threads),
+            "in_flight": len(self._inflight),
+            "by_status": dict(sorted(by_status.items())),
+        }
+
+    # -- execution ---------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.status = RUNNING
+        start = time.perf_counter()
+        session = None
+        outcome = FAILED
+        try:
+            # Inside the try: a raising session factory must fail the
+            # job, not kill the worker and wedge the in-flight key.
+            session = self._session_factory()
+            result = session.run(job.experiment, quick=job.quick,
+                                 force=job.force, **job.params)
+            job.envelope = result.to_dict()
+            outcome = DONE
+        except BaseException as error:  # a failed job must never kill a worker
+            job.error = f"{type(error).__name__}: {error}"
+        finally:
+            job.wall_s = time.perf_counter() - start
+            job.tasks_executed = getattr(session, "tasks_executed", None)
+            # The terminal status flips last: a poller that observes
+            # "done" must already see envelope/wall_s/tasks_executed.
+            job.status = outcome
+            self.metrics.count("jobs_completed" if outcome == DONE
+                               else "jobs_failed")
+            with self._lock:
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self._prune_finished_locked()
+            job._done.set()
+
+    def _prune_finished_locked(self) -> None:
+        terminal = [job_id for job_id, job in self._jobs.items()
+                    if job.status in (DONE, FAILED)]
+        for job_id in terminal[:max(0, len(terminal) - self._max_finished)]:
+            del self._jobs[job_id]
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) drain the workers.
+
+        Already-queued jobs still run — a client holding a job id must
+        eventually observe a terminal state, even across shutdown.
+        """
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()

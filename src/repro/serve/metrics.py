@@ -1,0 +1,74 @@
+"""Thread-safe counters behind the serving layer's ``GET /metrics``.
+
+One :class:`ServeMetrics` instance is shared by the request router and
+the background job queue.  Every mutation happens under one lock, so the
+snapshot an operator polls is internally consistent — a request counted
+as received is never missing from its per-endpoint bucket.
+
+The counters deliberately mirror the store/queue vocabulary used
+everywhere else in the repo (*hit*/*miss*, *coalesced*, *failed*), so a
+``/metrics`` payload reads like the ledger and the CLI diagnostics do.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+
+class ServeMetrics:
+    """Monotonic counters for one server process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests: Dict[str, int] = {}
+        self.requests_total = 0
+        self.errors_total = 0
+        #: POST /run answered straight from the result store.
+        self.store_hits = 0
+        #: POST /run that had to go through the job queue.
+        self.store_misses = 0
+        #: GET /results/<key> lookups served (hits only).
+        self.results_served = 0
+        self.jobs_submitted = 0
+        #: Requests that attached to an already-in-flight job instead of
+        #: starting their own execution.
+        self.jobs_coalesced = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+
+    def count_request(self, route: str, status: int) -> None:
+        """Record one handled request under its route label."""
+        with self._lock:
+            self.requests_total += 1
+            self._requests[route] = self._requests.get(route, 0) + 1
+            if status >= 400:
+                self.errors_total += 1
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Increment one of the named counters (e.g. ``"store_hits"``)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self._started, 3),
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "requests_by_route": dict(sorted(self._requests.items())),
+                "store": {
+                    "hits": self.store_hits,
+                    "misses": self.store_misses,
+                    "results_served": self.results_served,
+                },
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "coalesced": self.jobs_coalesced,
+                    "completed": self.jobs_completed,
+                    "failed": self.jobs_failed,
+                },
+            }

@@ -1,0 +1,136 @@
+"""Tests for RemoteSession (repro.api.client).
+
+The contract: ``RemoteSession.run`` is shape-compatible with
+``Session.run`` — same call signature, same decoded
+:class:`ExperimentResult` — with server-side errors mapped back onto
+the exceptions the local session would raise.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    ExperimentResult,
+    RemoteRunError,
+    RemoteSession,
+    Session,
+    all_experiments,
+)
+from repro.api.session import install_default
+from repro.serve import build_server
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_session():
+    saved = install_default(None)
+    yield
+    install_default(saved)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = build_server("127.0.0.1", 0, str(tmp_path / "store"),
+                       str(tmp_path / "cache"), workers=2, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def remote(server):
+    return RemoteSession(f"http://127.0.0.1:{server.port}")
+
+
+class TestRun:
+    def test_remote_result_equals_local_result(self, remote):
+        local = Session().run("validation", quick=True)
+        result = remote.run("validation", quick=True)
+        assert isinstance(result, ExperimentResult)
+        assert result == local
+        assert result.format() == local.format()
+
+    def test_hit_miss_counters_mirror_the_store(self, remote):
+        remote.run("validation", quick=True)
+        remote.run("validation", quick=True)
+        assert (remote.misses, remote.hits) == (1, 1)
+
+    def test_force_is_a_miss(self, remote):
+        remote.run("validation", quick=True)
+        remote.run("validation", quick=True, force=True)
+        assert (remote.misses, remote.hits) == (2, 0)
+
+    def test_params_flow_through(self, remote):
+        result = remote.run("fig10", benchmarks=["cnu"], mids=[2.0],
+                            program_size=12, trials=1)
+        local = Session().run("fig10", benchmarks=("cnu",), mids=(2.0,),
+                              program_size=12, trials=1)
+        assert result == local
+
+
+class TestErrorMapping:
+    def test_unknown_experiment_is_key_error(self, remote):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            remote.run("fig99")
+
+    def test_bad_parameter_is_type_error(self, remote):
+        with pytest.raises(TypeError, match="has no parameter"):
+            remote.run("validation", bogus=1)
+
+    def test_failed_execution_is_remote_run_error(self, remote,
+                                                  monkeypatch):
+        import dataclasses
+
+        from repro.api import registry
+
+        real = registry._SPECS["validation"]
+
+        def exploding_runner(**kwargs):
+            raise RuntimeError("backend exploded")
+
+        monkeypatch.setitem(registry._SPECS, "validation",
+                            dataclasses.replace(real,
+                                                runner=exploding_runner))
+        with pytest.raises(RemoteRunError, match="backend exploded"):
+            remote.run("validation", quick=True)
+
+    def test_missing_result_is_key_error(self, remote):
+        with pytest.raises(KeyError):
+            remote.result("a" * 64)
+
+
+class TestReadOnlyViews:
+    def test_experiments_mirror_the_registry(self, remote):
+        listing = remote.experiments()
+        assert set(listing) == set(all_experiments())
+        assert listing["validation"]["doc"]
+
+    def test_submit_then_poll_job(self, remote):
+        import time
+
+        submitted = remote.submit("validation", quick=True)
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            job = remote.job(submitted["id"])
+            if job["status"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert job["status"] == "done"
+        envelope = remote.result(job["key"])
+        assert envelope["experiment"] == "validation"
+
+    def test_unknown_job_is_key_error(self, remote):
+        with pytest.raises(KeyError):
+            remote.job("nope")
+
+    def test_metrics_round_trip(self, remote):
+        remote.run("validation", quick=True)
+        metrics = remote.metrics()
+        assert metrics["jobs"]["completed"] == 1
+        assert "uptime_s" in metrics
+
+    def test_repr_names_the_endpoint(self, remote):
+        assert remote.base_url in repr(remote)

@@ -224,6 +224,184 @@ class TestReadThrough:
                     store_dir=str(tmp_path))
 
 
+class TestLedgerTail:
+    def _write_ledger(self, tmp_path, count):
+        import os
+
+        store = ResultStore(str(tmp_path))
+        os.makedirs(store.path, exist_ok=True)
+        with open(store.ledger_path(), "w", encoding="utf-8") as handle:
+            for index in range(count):
+                handle.write(json.dumps(
+                    {"experiment": "x", "key": f"k{index}", "hit": False,
+                     "timestamp": float(index), "wall_s": 0.0},
+                    sort_keys=True) + "\n")
+        return store
+
+    def test_tail_returns_the_last_n_oldest_first(self, tmp_path):
+        store = self._write_ledger(tmp_path, 10)
+        assert [e["key"] for e in store.tail(3)] == ["k7", "k8", "k9"]
+
+    def test_tail_matches_ledger_entries_suffix(self, tmp_path):
+        """tail(n) must agree with the unbounded reader — including
+        across its internal block boundaries, hence enough entries that
+        the ledger spans multiple 64 KiB read blocks."""
+        store = self._write_ledger(tmp_path, 2000)
+        full = store.ledger_entries()
+        assert len(full) == 2000
+        for n in (1, 5, 100, 1999, 2000, 5000):
+            assert store.tail(n) == full[-n:]
+
+    def test_tail_of_missing_ledger_is_empty(self, tmp_path):
+        assert ResultStore(str(tmp_path)).tail(5) == []
+
+    def test_tail_nonpositive_is_empty(self, tmp_path):
+        store = self._write_ledger(tmp_path, 3)
+        assert store.tail(0) == []
+        assert store.tail(-1) == []
+
+    def test_tail_skips_malformed_lines_in_the_window(self, tmp_path):
+        store = self._write_ledger(tmp_path, 5)
+        with open(store.ledger_path(), "a", encoding="utf-8") as handle:
+            handle.write("{ torn line\n")
+        tailed = store.tail(3)
+        # The torn line occupies a window slot but decodes to nothing.
+        assert [e["key"] for e in tailed] == ["k3", "k4"]
+
+    def test_tail_is_bounded_not_a_full_read(self, tmp_path,
+                                             monkeypatch):
+        """The point of the satellite: tailing a huge ledger must not
+        read the whole file."""
+        store = self._write_ledger(tmp_path, 20000)
+        import os
+
+        total = os.path.getsize(store.ledger_path())
+        read = []
+        original = open
+
+        class CountingHandle:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def read(self, *args):
+                data = self._handle.read(*args)
+                read.append(len(data))
+                return data
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._handle.close()
+
+        def counting_open(path, *args, **kwargs):
+            return CountingHandle(original(path, *args, **kwargs))
+
+        monkeypatch.setattr("builtins.open", counting_open)
+        assert len(store.tail(10)) == 10
+        assert sum(read) < total / 4
+
+
+class TestConcurrentPersistence:
+    """Satellite: two writers racing one key through atomic replace
+    never corrupt an entry, and a concurrent reader sees either a miss
+    or valid bytes — never a torn envelope."""
+
+    def _envelope(self, marker: int) -> dict:
+        return {"schema": "repro.experiment-result", "schema_version": 1,
+                "experiment": "race", "result_type": "RaceResult",
+                "data": {"marker": marker, "pad": "x" * 2048}}
+
+    def test_racing_writers_and_reader_never_see_torn_bytes(self,
+                                                            tmp_path):
+        import threading
+
+        store = ResultStore(str(tmp_path))
+        key = "ab" + "0" * 62
+        valid = {canonical_json(self._envelope(m)) for m in range(2)}
+        stop = threading.Event()
+        failures = []
+
+        def writer(marker):
+            envelope = self._envelope(marker)
+            while not stop.is_set():
+                store.put(key, envelope)
+
+        def reader():
+            reads = 0
+            while not stop.is_set() or reads == 0:
+                envelope = ResultStore(str(tmp_path)).get(key)
+                if envelope is None:
+                    continue  # a miss is a legal mid-race outcome
+                reads += 1
+                if canonical_json(envelope) not in valid:
+                    failures.append(envelope)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(m,))
+                   for m in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not failures
+        # The surviving entry is one of the two written envelopes...
+        assert canonical_json(store.get(key)) in valid
+        # ... and the race left no orphaned temp files behind.
+        import os
+
+        shard = os.path.dirname(store._file_for(key))
+        assert [name for name in os.listdir(shard)
+                if name.startswith(".tmp-")] == []
+
+    def test_racing_processes_write_without_corruption(self, tmp_path):
+        """Same invariant across real process boundaries (spawn), where
+        no GIL serializes the writers."""
+        import multiprocessing
+
+        key = "cd" + "1" * 62
+        context = multiprocessing.get_context("spawn")
+        workers = [
+            context.Process(target=_hammer_store_process,
+                            args=(str(tmp_path), key, marker, 40))
+            for marker in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        store = ResultStore(str(tmp_path))
+        envelope = store.get(key)
+        assert envelope["experiment"] == "race"
+        assert envelope["data"]["marker"] in (0, 1)
+
+
+def _hammer_store_process(path: str, key: str, marker: int,
+                          iterations: int) -> None:
+    """Module-level so spawn can pickle it: write and read one key in a
+    tight loop, exiting non-zero on any torn read."""
+    from repro.api.store import ResultStore as Store
+
+    store = Store(path)
+    envelope = {"schema": "repro.experiment-result", "schema_version": 1,
+                "experiment": "race", "result_type": "RaceResult",
+                "data": {"marker": marker, "pad": "x" * 2048}}
+    for _ in range(iterations):
+        store.put(key, envelope)
+        seen = store.get(key)
+        if seen is not None and seen.get("experiment") != "race":
+            raise SystemExit(3)
+
+
 class TestMaintenance:
     def _fill(self, tmp_path, runs=3):
         session = Session(store_dir=str(tmp_path))

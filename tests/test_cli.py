@@ -141,6 +141,84 @@ class TestListAndErrors:
                      "--out", str(target), "--no-cache"]) == 0
         assert "regenerated in" in capsys.readouterr().err
 
+    def test_interrupt_exits_130(self, capsys, monkeypatch):
+        """Ctrl-C mid-run surfaces as the conventional SIGINT status,
+        not a traceback."""
+        from repro.api import Session
+
+        def interrupted(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Session, "run", interrupted)
+        assert main(["run", "validation", "--quick", "--no-cache"]) == 130
+        captured = capsys.readouterr()
+        assert "[interrupted]" in captured.err
+        assert captured.out == ""
+
+
+class TestServeSubcommand:
+    def test_bad_jobs_fails_before_binding(self, capsys):
+        assert main(["serve", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_unbindable_port_fails_cleanly(self, capsys, tmp_path):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port),
+                         "--store", str(tmp_path / "store"),
+                         "--no-cache"]) == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.close()
+
+    def test_sigint_shuts_down_cleanly_with_130(self, tmp_path):
+        """The full-process contract: `kill -INT` on a running server
+        (even one backgrounded by a non-interactive shell, where SIGINT
+        starts out ignored) drains and exits 130."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(pathlib.Path(__file__).parent.parent / "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(tmp_path / "store"), "--no-cache",
+             "--jobs", "1", "--quiet"],
+            env=env, stderr=subprocess.PIPE, text=True,
+            preexec_fn=lambda: signal.signal(signal.SIGINT,
+                                             signal.SIG_IGN))
+        try:
+            # The startup line names the bound (ephemeral) port.
+            import re
+
+            startup = process.stderr.readline()
+            port = int(re.search(r"http://[^:]+:(\d+)", startup).group(1))
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                try:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=1)
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=15) == 130
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stderr.close()
+
 
 class TestCacheSubcommand:
     def _warm(self, cache_dir) -> None:
@@ -275,6 +353,31 @@ class TestStoreCLI:
         assert "removed 1 least-recently-used results" in out
         out = _run_cli(capsys, "store", "ls", "--store-dir", str(store))
         assert "0 stored result(s)" in out
+
+    def test_ls_last_shows_recent_runs_from_the_ledger_tail(self, capsys,
+                                                            tmp_path):
+        store = tmp_path / "store"
+        self._json_run(capsys, store)   # miss
+        self._json_run(capsys, store)   # hit
+
+        out = _run_cli(capsys, "store", "ls", "--last", "1",
+                       "--store-dir", str(store))
+        # Only the newest event is shown, and it was a hit.
+        assert out.startswith("hit ")
+        assert "validation" in out
+        assert "last 1 run(s)" in out
+
+        out = _run_cli(capsys, "store", "ls", "--last", "10",
+                       "--store-dir", str(store))
+        lines = out.splitlines()
+        assert lines[0].startswith("miss")
+        assert lines[1].startswith("hit ")
+        assert "last 2 run(s)" in lines[2]
+
+    def test_ls_last_rejects_nonpositive(self, capsys, tmp_path):
+        assert main(["store", "ls", "--last", "0",
+                     "--store-dir", str(tmp_path)]) == 2
+        assert "--last" in capsys.readouterr().err
 
     def test_show_unknown_key_fails_cleanly(self, capsys, tmp_path):
         assert main(["store", "show", "feedbeef",

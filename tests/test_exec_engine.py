@@ -91,6 +91,73 @@ def test_task_exceptions_propagate():
         )
 
 
+def _interrupt_on_second_task(task):
+    if task >= 1:
+        raise KeyboardInterrupt
+    return task
+
+
+class TestInterruptCleanup:
+    """Satellite: an interrupted sweep must not litter the shared cache
+    directory with orphaned .tmp-* files (the CLI layer turns the
+    re-raised KeyboardInterrupt into exit code 130)."""
+
+    def _plant_orphan(self, cache_dir):
+        import os
+
+        shard = cache_dir / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        orphan = shard / ".tmp-orphan.pkl"
+        orphan.write_bytes(b"x" * 64)
+        os.utime(orphan, (1, 1))  # a long-dead writer's leftovers
+        return orphan
+
+    def test_inline_interrupt_reclaims_temp_files(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        orphan = self._plant_orphan(tmp_path)
+        in_flight = tmp_path / "ab" / ".tmp-live.pkl"
+        in_flight.write_bytes(b"x")  # another process, mid-write now
+        with pytest.raises(KeyboardInterrupt):
+            engine.run_tasks(_interrupt_on_second_task, [0, 1, 2],
+                             session=session)
+        assert not orphan.exists()
+        # The grace window protects a concurrent live writer's file.
+        assert in_flight.exists()
+
+    def test_parallel_interrupt_reclaims_temp_files(self, tmp_path):
+        """A KeyboardInterrupt surfacing from the worker pool takes the
+        same cleanup path: cancel, drain, sweep."""
+        session = Session(jobs=2, cache_dir=str(tmp_path))
+        orphan = self._plant_orphan(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run_tasks(_interrupt_on_second_task, [0, 1, 2, 3],
+                             session=session)
+        assert not orphan.exists()
+
+    def test_interrupt_without_disk_cache_is_harmless(self):
+        session = Session()  # memory-only cache: nothing to sweep
+        with pytest.raises(KeyboardInterrupt):
+            engine.run_tasks(_interrupt_on_second_task, [0, 1],
+                             session=session)
+
+    def test_other_exceptions_do_not_sweep(self, tmp_path):
+        """Only an interrupt triggers the reclaim sweep: an ordinary
+        task failure must not delete even a long-dead writer's temp
+        file (that is gc/prune/clear's job)."""
+        session = Session(cache_dir=str(tmp_path))
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        in_flight = shard / ".tmp-live.pkl"
+        in_flight.write_bytes(b"x")
+
+        def explode(task):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            engine.run_tasks(explode, [0], session=session)
+        assert in_flight.exists()
+
+
 def test_explicit_session_overrides_current(tmp_path):
     """run_tasks(session=...) uses that session, not the active one."""
     dedicated = Session(jobs=1, cache_dir=str(tmp_path))

@@ -1,0 +1,449 @@
+"""Tests for the serving subsystem (repro.serve).
+
+The tentpole contract, over a real socket: a cold ``POST /run`` and a
+warm ``GET /results/<key>`` return envelopes byte-identical to ``python
+-m repro run X --quick --format json`` for **every** quick-preset
+experiment; the warm path executes zero tasks; and N concurrent
+identical requests perform exactly one execution (in-flight
+deduplication plus read-through sessions).
+"""
+
+import dataclasses
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import Session, all_experiments, store_key
+from repro.api.session import install_default
+from repro.serve import build_server
+from repro.serve.jobs import DONE, FAILED, JobQueue
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_session():
+    saved = install_default(None)
+    yield
+    install_default(saved)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = build_server("127.0.0.1", 0, str(tmp_path / "store"),
+                       str(tmp_path / "cache"), workers=2, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def base(server):
+    return f"http://127.0.0.1:{server.port}"
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _post_run(base_url, **payload):
+    request = urllib.request.Request(
+        base_url + "/run", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _http_error(callable_, *args, **kwargs) -> urllib.error.HTTPError:
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_(*args, **kwargs)
+    return excinfo.value
+
+
+def _error_message(error: urllib.error.HTTPError) -> str:
+    return json.loads(error.read())["error"]
+
+
+class TestEndpoints:
+    def test_healthz(self, base):
+        status, _, body = _get(base + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_experiments_lists_every_registered_spec(self, base):
+        _, _, body = _get(base + "/experiments")
+        listing = {spec["name"]: spec
+                   for spec in json.loads(body)["experiments"]}
+        assert set(listing) == set(all_experiments())
+        fig10 = listing["fig10"]
+        assert {p["name"] for p in fig10["params"]} == {
+            p.name for p in all_experiments()["fig10"].params}
+        # Tuple-valued presets render as JSON lists.
+        assert fig10["quick"]["mids"] == [2.0, 3.0]
+        assert fig10["result_type"] == "Fig10Result"
+
+    def test_experiment_detail_and_unknown(self, base):
+        _, _, body = _get(base + "/experiments/validation")
+        assert json.loads(body)["name"] == "validation"
+        error = _http_error(_get, base + "/experiments/fig99")
+        assert error.code == 404
+        assert "unknown experiment" in _error_message(error)
+
+    def test_results_rejects_non_key_paths(self, base):
+        error = _http_error(_get, base + "/results/../../etc/passwd")
+        assert error.code == 400
+        error = _http_error(_get, base + "/results/" + "a" * 64)
+        assert error.code == 404
+
+    def test_unrouted_paths_404(self, base):
+        assert _http_error(_get, base + "/nope").code == 404
+
+    def test_run_request_validation(self, base):
+        request = urllib.request.Request(
+            base + "/run", data=b"{ not json", method="POST")
+        assert _http_error(urllib.request.urlopen, request).code == 400
+
+        error = _http_error(_post_run, base, quick=True)
+        assert error.code == 400
+        assert "experiment" in _error_message(error)
+
+        error = _http_error(_post_run, base, experiment="fig99")
+        assert error.code == 404
+
+        error = _http_error(_post_run, base, experiment="validation",
+                            params={"bogus": 1})
+        assert error.code == 400
+        payload = json.loads(error.read())
+        assert "has no parameter" in payload["error"]
+        # Structured type so clients re-raise without message parsing.
+        assert payload["error_type"] == "TypeError"
+
+        # Wrong params shape is rejected even when falsy ([] / false),
+        # never silently coerced into a default-params run.
+        for bad_params in ([], False, ""):
+            error = _http_error(_post_run, base, experiment="validation",
+                                params=bad_params)
+            assert error.code == 400
+            assert "JSON object" in _error_message(error)
+
+
+class TestServingContract:
+    def test_every_quick_experiment_cold_warm_and_cli_identical(
+            self, base, server, capsys):
+        """The acceptance criterion, for every registered experiment:
+        cold POST /run, warm GET /results/<key>, warm POST /run, and the
+        CLI's --format json output are all byte-identical; the warm
+        paths recompute nothing."""
+        store_dir = server.app.store.path
+        for name in all_experiments():
+            status, headers, cold = _post_run(
+                base, experiment=name, quick=True, wait=True)
+            assert status == 200
+            assert headers["X-Repro-Store"] == "miss"
+            key = headers["X-Repro-Key"]
+            assert json.loads(cold)["experiment"] == name
+
+            _, _, warm_get = _get(base + f"/results/{key}")
+            assert warm_get == cold
+
+            _, warm_headers, warm_post = _post_run(
+                base, experiment=name, quick=True, wait=True)
+            assert warm_headers["X-Repro-Store"] == "hit"
+            assert warm_post == cold
+
+            # The CLI against the same store replays with zero task
+            # dispatch and prints the same bytes the server returned.
+            assert main(["run", name, "--quick", "--format", "json",
+                         "--no-cache", "--store", store_dir]) == 0
+            captured = capsys.readouterr()
+            assert captured.out.encode() == cold
+            assert "replayed from result store" in captured.err
+
+    def test_cold_bytes_match_a_storeless_cli_run(self, base, capsys):
+        """One full independent recompute: the server's cold envelope
+        equals a fresh `run validation --quick --format json` that never
+        saw the store."""
+        _, _, cold = _post_run(base, experiment="validation", quick=True,
+                               wait=True)
+        assert main(["run", "validation", "--quick", "--format", "json",
+                     "--no-cache"]) == 0
+        assert capsys.readouterr().out.encode() == cold
+
+    def test_warm_replay_executes_zero_tasks(self, base, server):
+        """A job submitted after its key is already stored replays
+        read-through: Session.tasks_executed == 0."""
+        _, headers, _ = _post_run(base, experiment="validation",
+                                  quick=True, wait=True)
+        key = headers["X-Repro-Key"]
+        spec = all_experiments()["validation"]
+        assert key == store_key("validation",
+                                spec.resolved_params(quick=True))
+        job, coalesced = server.app.jobs.submit(
+            "validation", key, True, {}, force=False)
+        assert not coalesced
+        assert job.wait(timeout=30)
+        assert job.status == DONE
+        assert job.tasks_executed == 0
+
+    def test_concurrent_identical_requests_execute_once(
+            self, base, server, monkeypatch):
+        """N concurrent identical requests -> exactly one execution."""
+        from repro.api import registry
+
+        real = registry._SPECS["validation"]
+        calls = []
+
+        def counting_runner(**kwargs):
+            calls.append(threading.get_ident())
+            time.sleep(0.3)  # hold the job open so requests overlap
+            return real.runner(**kwargs)
+
+        monkeypatch.setitem(registry._SPECS, "validation",
+                            dataclasses.replace(real,
+                                                runner=counting_runner))
+        bodies = []
+        errors = []
+
+        def request_once():
+            try:
+                bodies.append(_post_run(base, experiment="validation",
+                                        quick=True, wait=True)[2])
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=request_once)
+                   for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(calls) == 1
+        assert len(set(bodies)) == 1
+        snapshot = server.app.metrics.snapshot()
+        assert snapshot["jobs"]["coalesced"] >= 1
+
+    def test_force_recomputes_and_skips_dedup(self, base, server,
+                                              monkeypatch):
+        from repro.api import registry
+
+        real = registry._SPECS["validation"]
+        calls = []
+
+        def counting_runner(**kwargs):
+            calls.append(1)
+            return real.runner(**kwargs)
+
+        monkeypatch.setitem(registry._SPECS, "validation",
+                            dataclasses.replace(real,
+                                                runner=counting_runner))
+        _post_run(base, experiment="validation", quick=True, wait=True)
+        status, headers, _ = _post_run(base, experiment="validation",
+                                       quick=True, force=True, wait=True)
+        assert headers["X-Repro-Store"] == "miss"
+        assert len(calls) == 2
+
+
+class TestJobsEndpoint:
+    def test_async_submit_then_poll_then_fetch(self, base):
+        status, headers, body = _post_run(
+            base, experiment="validation", quick=True, wait=False)
+        assert status == 202
+        submitted = json.loads(body)
+        assert submitted["coalesced"] is False
+        job_id = submitted["id"]
+
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            _, _, job_body = _get(base + f"/jobs/{job_id}")
+            job = json.loads(job_body)
+            if job["status"] in (DONE, FAILED):
+                break
+            time.sleep(0.05)
+        assert job["status"] == DONE
+        assert job["tasks_executed"] > 0
+        assert job["wall_s"] >= 0
+        _, _, envelope = _get(base + job["result_url"])
+        assert json.loads(envelope)["experiment"] == "validation"
+
+    def test_unknown_job_404(self, base):
+        assert _http_error(_get, base + "/jobs/nope").code == 404
+
+    def test_failed_job_surfaces_the_error(self, base, monkeypatch):
+        from repro.api import registry
+
+        real = registry._SPECS["validation"]
+
+        def exploding_runner(**kwargs):
+            raise RuntimeError("backend exploded")
+
+        monkeypatch.setitem(registry._SPECS, "validation",
+                            dataclasses.replace(real,
+                                                runner=exploding_runner))
+        error = _http_error(_post_run, base, experiment="validation",
+                            quick=True, wait=True)
+        assert error.code == 500
+        assert "backend exploded" in _error_message(error)
+
+
+class TestMetricsEndpoint:
+    def test_counters_and_recent_ledger_window(self, base):
+        _post_run(base, experiment="validation", quick=True, wait=True)
+        _post_run(base, experiment="validation", quick=True, wait=True)
+        _, _, body = _get(base + "/metrics")
+        metrics = json.loads(body)
+        assert metrics["store"]["hits"] == 1
+        assert metrics["store"]["misses"] == 1
+        assert metrics["jobs"]["submitted"] == 1
+        assert metrics["jobs"]["completed"] == 1
+        assert metrics["queue"]["workers"] == 2
+        assert metrics["requests_by_route"]["POST /run"] == 2
+        recent = metrics["recent_runs"]
+        # Ledger: one miss (the job's read-through session) + one
+        # store-hit served by the router.
+        assert recent["events"] == recent["hits"] + recent["misses"]
+        assert recent["hits"] == 1 and recent["misses"] == 1
+
+
+class TestJobQueueUnit:
+    """Queue semantics without sockets or real experiments."""
+
+    class FakeSession:
+        def __init__(self, log, gate):
+            self.log = log
+            self.gate = gate
+            self.tasks_executed = 7
+
+        def run(self, experiment, quick=False, force=False, **params):
+            self.log.append(self)
+            if not self.gate.wait(timeout=10):  # pragma: no cover
+                raise TimeoutError("gate never opened")
+            result = type("FakeResult", (), {})()
+            result.to_dict = lambda: {"experiment": experiment}
+            return result
+
+    def _queue(self, log, gate, workers=2):
+        return JobQueue(lambda: self.FakeSession(log, gate),
+                        workers=workers)
+
+    def test_inflight_duplicates_coalesce(self):
+        log, gate = [], threading.Event()
+        queue = self._queue(log, gate)
+        try:
+            first, coalesced_a = queue.submit("x", "k1", False, {})
+            while first.status == "queued":
+                time.sleep(0.01)  # wait until a worker holds the job
+            second, coalesced_b = queue.submit("x", "k1", False, {})
+            assert (coalesced_a, coalesced_b) == (False, True)
+            assert second is first
+            gate.set()
+            assert first.wait(timeout=10)
+            assert first.status == DONE
+            assert first.tasks_executed == 7
+            assert len(log) == 1
+        finally:
+            gate.set()
+            queue.shutdown()
+
+    def test_force_jobs_never_coalesce(self):
+        log, gate = [], threading.Event()
+        gate.set()
+        queue = self._queue(log, gate)
+        try:
+            first, _ = queue.submit("x", "k1", False, {})
+            forced, coalesced = queue.submit("x", "k1", False, {},
+                                             force=True)
+            assert coalesced is False
+            assert forced is not first
+            assert forced.wait(timeout=10) and first.wait(timeout=10)
+        finally:
+            queue.shutdown()
+
+    def test_every_job_gets_its_own_session(self):
+        log, gate = [], threading.Event()
+        gate.set()
+        queue = self._queue(log, gate)
+        try:
+            jobs = [queue.submit("x", f"k{i}", False, {})[0]
+                    for i in range(4)]
+            for job in jobs:
+                assert job.wait(timeout=10)
+            assert len(log) == 4
+            assert len(set(map(id, log))) == 4  # four distinct sessions
+        finally:
+            queue.shutdown()
+
+    def test_shutdown_rejects_new_jobs_but_finishes_queued_ones(self):
+        log, gate = [], threading.Event()
+        queue = self._queue(log, gate, workers=1)
+        job, _ = queue.submit("x", "k1", False, {})
+        gate.set()
+        queue.shutdown(wait=True)
+        assert job.status == DONE
+        with pytest.raises(RuntimeError):
+            queue.submit("x", "k2", False, {})
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(lambda: None, workers=0)
+
+    def test_raising_session_factory_fails_the_job_not_the_worker(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("factory exploded")
+            gate = threading.Event()
+            gate.set()
+            return self.FakeSession([], gate)
+
+        queue = JobQueue(factory, workers=1)
+        try:
+            doomed, _ = queue.submit("x", "k1", False, {})
+            assert doomed.wait(timeout=10)
+            assert doomed.status == FAILED
+            assert "factory exploded" in doomed.error
+            # The worker survived and the key is no longer in flight.
+            healthy, coalesced = queue.submit("x", "k1", False, {})
+            assert coalesced is False
+            assert healthy.wait(timeout=10)
+            assert healthy.status == DONE
+        finally:
+            queue.shutdown()
+
+
+class TestSessionThreadIsolation:
+    def test_two_threads_activate_independent_sessions(self, tmp_path):
+        """The contextvar design under real concurrency: each thread's
+        activate() is invisible to the other."""
+        from repro.api.session import current_session
+
+        barrier = threading.Barrier(2, timeout=10)
+        seen = {}
+
+        def work(name, session):
+            with session.activate():
+                barrier.wait()  # both threads are inside activate()
+                seen[name] = current_session()
+                barrier.wait()
+
+        one = Session(jobs=1, cache_dir=str(tmp_path / "a"))
+        two = Session(jobs=3, cache_dir=str(tmp_path / "b"))
+        threads = [threading.Thread(target=work, args=("one", one)),
+                   threading.Thread(target=work, args=("two", two))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert seen["one"] is one
+        assert seen["two"] is two
