@@ -14,7 +14,6 @@ Two consumers:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.circuits.circuit import Circuit
@@ -39,6 +38,7 @@ class CircuitDag:
                 last_on_qubit[q] = idx
         self._layers: Optional[List[List[int]]] = None
         self._gate_layer: Optional[List[int]] = None
+        self._weight_pairs: Optional[List[Tuple[Tuple[int, int], ...]]] = None
 
     def __len__(self) -> int:
         return len(self.circuit)
@@ -66,6 +66,22 @@ class CircuitDag:
 
     def roots(self) -> List[int]:
         return [i for i in range(len(self)) if not self.predecessors[i]]
+
+    def weight_pairs(self, idx: int) -> Tuple[Tuple[int, int], ...]:
+        """Operand pairs of gate ``idx`` that carry lookahead weight.
+
+        Empty for single-qubit gates and measurements.  Cached: the weight
+        function re-walks the same gates every scheduler timestep.
+        """
+        if self._weight_pairs is None:
+            pairs: List[Tuple[Tuple[int, int], ...]] = []
+            for gate in self.circuit:
+                if gate.arity < 2 or gate.is_measurement:
+                    pairs.append(())
+                else:
+                    pairs.append(tuple(interaction_pairs(gate)))
+            self._weight_pairs = pairs
+        return self._weight_pairs[idx]
 
 
 class Frontier:
@@ -117,26 +133,21 @@ class Frontier:
         ``max_layers`` layers are materialized since the exponential
         lookahead weight decays fast.
         """
-        remaining_preds = dict()
-        for idx in range(len(self.dag)):
-            if self._done[idx]:
-                continue
-            count = sum(
-                1 for p in self.dag.predecessors[idx] if not self._done[p]
-            )
-            remaining_preds[idx] = count
+        # ``_remaining_preds`` is maintained incrementally by complete(),
+        # so for every unexecuted gate it already equals the number of
+        # unexecuted predecessors — no need to recount the whole DAG.
+        # Layer 0 is exactly the ready set.
+        remaining_preds = list(self._remaining_preds)
         layers: List[List[int]] = []
-        current = [idx for idx, count in remaining_preds.items() if count == 0]
+        current = sorted(self._ready)
         produced: Set[int] = set(current)
         while current and len(layers) < max_layers:
             layers.append(current)
             next_layer: List[int] = []
-            counts = defaultdict(int)
             for idx in current:
                 for succ in self.dag.successors[idx]:
                     if succ in produced or self._done[succ]:
                         continue
-                    counts[succ] += 1
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0:
                         next_layer.append(succ)

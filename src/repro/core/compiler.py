@@ -86,7 +86,9 @@ def compile_circuit(
     )
     layout = initial_mapping(lowered.num_qubits, topology, weights)
 
-    schedule, final_layout = schedule_circuit(lowered, topology, config, layout)
+    schedule, final_layout = schedule_circuit(
+        lowered, topology, config, layout, dag=dag
+    )
 
     elapsed = time.perf_counter() - start
     return CompiledProgram(

@@ -69,13 +69,19 @@ def _placement_order(num_qubits: int, weights: InteractionWeights) -> List[int]:
         order.extend([u, v])
         remaining.discard(u)
         remaining.discard(v)
+        ordered = set(order)
+        # Per-qubit partner views are stable; fetch them once.  The
+        # weight totals are still re-summed from scratch each round in
+        # partner-dict order, so float accumulation matches the naive
+        # rebuild bit for bit.
+        partner_items = {q: list(weights.partners(q).items()) for q in remaining}
         while remaining:
             best_qubit: Optional[int] = None
             best_weight = -1.0
-            ordered = set(order)
             for qubit in remaining:
-                partners = weights.partners(qubit)
-                total = sum(w for p, w in partners.items() if p in ordered)
+                total = sum(
+                    w for p, w in partner_items[qubit] if p in ordered
+                )
                 if total > best_weight or (
                     total == best_weight
                     and (best_qubit is None or qubit < best_qubit)
@@ -84,6 +90,7 @@ def _placement_order(num_qubits: int, weights: InteractionWeights) -> List[int]:
                     best_qubit = qubit
             assert best_qubit is not None
             order.append(best_qubit)
+            ordered.add(best_qubit)
             remaining.discard(best_qubit)
     else:
         order = sorted(remaining)
@@ -111,13 +118,14 @@ def _best_site(
                 return site
         raise MappingError("no free site available")
 
-    grid = topology.grid
+    rows = topology.grid.distance_rows()
     best_site = None
     best_score = float("inf")
     for site in free:
+        row = rows[site]
         score = 0.0
         for partner_site, weight in mapped_partners:
-            score += grid.distance(site, partner_site) * weight
+            score += row[partner_site] * weight
             if score >= best_score:
                 break
         if score < best_score or (score == best_score and (

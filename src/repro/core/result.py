@@ -95,13 +95,21 @@ class CompiledProgram:
         return (self.op_count - swaps) + self.config.swap_gate_cost * swaps
 
     def counts_by_arity(self) -> Counter:
-        """Per-arity census for the §V success model (SWAP = 3 two-qubit)."""
-        counts: Counter = Counter()
-        for op in self.ops:
-            if op.is_swap:
-                counts[2] += self.config.swap_gate_cost
-            elif not op.gate.is_measurement:
-                counts[op.arity] += 1
+        """Per-arity census for the §V success model (SWAP = 3 two-qubit).
+
+        The census is a pure function of the (immutable once built)
+        schedule, so it is computed once and the shared Counter returned;
+        callers only read it.
+        """
+        counts = self.__dict__.get("_arity_counts")
+        if counts is None:
+            counts = Counter()
+            for op in self.ops:
+                if op.is_swap:
+                    counts[2] += self.config.swap_gate_cost
+                elif not op.gate.is_measurement:
+                    counts[op.arity] += 1
+            self.__dict__["_arity_counts"] = counts
         return counts
 
     def depth(self) -> int:
@@ -117,20 +125,50 @@ class CompiledProgram:
             total += cost
         return total
 
+    def _timestep_profiles(self) -> List[Tuple[bool, Tuple[int, ...]]]:
+        """Per-timestep ``(has_swap, distinct op arities)`` digest, cached.
+
+        :meth:`duration` only needs the slowest op per timestep, which is a
+        function of this digest and the noise model's per-arity gate times
+        — not of the full op list.
+        """
+        profiles = self.__dict__.get("_profiles")
+        if profiles is None:
+            profiles = []
+            for timestep in self.schedule:
+                has_swap = False
+                arities = set()
+                for op in timestep:
+                    if op.gate is None:
+                        has_swap = True
+                    else:
+                        arities.add(len(op.sites))
+                profiles.append((has_swap, tuple(arities)))
+            self.__dict__["_profiles"] = profiles
+        return profiles
+
     def duration(self, noise: NoiseModel) -> float:
         """Wall-clock execution time of one shot under a noise model's
         gate times: per timestep, the slowest op; SWAPs take 3 two-qubit
-        gate times."""
+        gate times.
+
+        Memoized per (frozen) noise model — shot loops re-query the same
+        program/noise pair hundreds of times.
+        """
+        memo = self.__dict__.get("_duration_memo")
+        if memo is not None and memo[0] is noise:
+            return memo[1]
         total = 0.0
-        for timestep in self.schedule:
+        for has_swap, arities in self._timestep_profiles():
             slowest = 0.0
-            for op in timestep:
-                if op.is_swap:
-                    length = 3.0 * noise.duration_of(2)
-                else:
-                    length = noise.duration_of(op.arity)
-                slowest = max(slowest, length)
+            if has_swap:
+                slowest = 3.0 * noise.duration_of(2)
+            for arity in arities:
+                length = noise.duration_of(arity)
+                if length > slowest:
+                    slowest = length
             total += slowest
+        self.__dict__["_duration_memo"] = (noise, total)
         return total
 
     def success_rate(self, noise: NoiseModel) -> float:
@@ -183,6 +221,16 @@ class CompiledProgram:
             "depth": self.depth(),
             "timesteps": len(self.schedule),
         }
+
+    def __getstate__(self) -> Dict:
+        # The lazily-built metric caches are derived data; keep pickled
+        # artifacts (compile cache, task payloads) byte-stable regardless
+        # of which metrics were queried before pickling.
+        state = dict(self.__dict__)
+        state.pop("_arity_counts", None)
+        state.pop("_profiles", None)
+        state.pop("_duration_memo", None)
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -42,10 +42,12 @@ class SwapProposal:
 
 def gate_span(sites: Sequence[int], topology: Topology) -> float:
     """Max pairwise distance among a gate's operand sites."""
+    rows = topology.grid.distance_rows()
     best = 0.0
     for i in range(len(sites)):
+        row = rows[sites[i]]
         for j in range(i + 1, len(sites)):
-            dist = topology.distance(sites[i], sites[j])
+            dist = row[sites[j]]
             if dist > best:
                 best = dist
     return best
@@ -67,26 +69,77 @@ def propose_swap(
     empty (possible on topologies with holes).  Returns ``None`` only when
     even BFS finds no way to bring the operands together.
     """
-    best: Optional[SwapProposal] = None
+    grid = topology.grid
+    rows = grid.distance_rows()
+    ntable = grid.neighbor_table(topology.max_interaction_distance)
+    lost = topology.lost_view
+    lookup_displaced = inverse_phi.get
+    # Unrolled partner handling for the 2- and 3-operand gates the native
+    # set produces (a genexpr max() per candidate dominates otherwise);
+    # gates with repeated operands fall back to the generic path.
+    arity = len(gate_qubits)
+    if arity == 2:
+        if gate_qubits[0] == gate_qubits[1]:
+            arity = -1
+    elif arity == 3:
+        qa, qb, qc = gate_qubits
+        if qa == qb or qa == qc or qb == qc:
+            arity = -1
+    else:
+        arity = -1
+    best_a = best_b = -1
+    best_score = 0.0
+    have_best = False
     for u in gate_qubits:
         site_u = phi[u]
-        partner_sites = [phi[v] for v in gate_qubits if v != u]
-        current_span = max(topology.distance(site_u, p) for p in partner_sites)
-        for h in topology.neighbors(site_u):
-            if inverse_phi.get(h) in gate_qubits:
+        row_u = rows[site_u]
+        p0 = p1 = -1
+        partner_sites: Tuple[int, ...] = ()
+        if arity == 2:
+            p0 = phi[gate_qubits[1] if u == gate_qubits[0] else gate_qubits[0]]
+            span_limit = row_u[p0] - 1e-9
+        elif arity == 3:
+            qa, qb, qc = gate_qubits
+            if u == qa:
+                p0, p1 = phi[qb], phi[qc]
+            elif u == qb:
+                p0, p1 = phi[qa], phi[qc]
+            else:
+                p0, p1 = phi[qa], phi[qb]
+            d0, d1 = row_u[p0], row_u[p1]
+            span_limit = (d0 if d0 >= d1 else d1) - 1e-9
+        else:
+            partner_sites = tuple(phi[v] for v in gate_qubits if v != u)
+            span_limit = max(row_u[p] for p in partner_sites) - 1e-9
+        for h in ntable[site_u]:
+            if h in lost:
+                continue
+            # Geometry first: the strict-progress span test eliminates
+            # nearly every candidate, so it runs before the (costlier)
+            # same-gate-operand lookup.  Both checks are side-effect-free
+            # filters, so the surviving candidate set is order-independent.
+            row_h = rows[h]
+            if arity == 2:
+                if row_h[p0] >= span_limit:
+                    continue
+            elif arity == 3:
+                d0, d1 = row_h[p0], row_h[p1]
+                if (d0 if d0 >= d1 else d1) >= span_limit:
+                    continue
+            elif max(row_h[p] for p in partner_sites) >= span_limit:
+                continue
+            if lookup_displaced(h) in gate_qubits:
                 # Swapping two operands of the same gate permutes them but
                 # leaves the operand site set (and the span) unchanged.
                 continue
-            new_span = max(topology.distance(h, p) for p in partner_sites)
-            if new_span >= current_span - 1e-9:
-                continue
-            score = _score_swap(u, site_u, h, phi, inverse_phi, weights, topology)
-            if best is None or score > best.score or (
-                score == best.score and (site_u, h) < (best.site_a, best.site_b)
-            ):
-                best = SwapProposal(site_u, h, score)
-    if best is not None:
-        return best
+            score = _score_swap(u, site_u, h, phi, inverse_phi, weights, rows)
+            if (not have_best or score > best_score or (
+                score == best_score and (site_u, h) < (best_a, best_b)
+            )):
+                best_a, best_b, best_score = site_u, h, score
+                have_best = True
+    if have_best:
+        return SwapProposal(best_a, best_b, best_score)
     return _bfs_fallback(gate_qubits, phi, topology)
 
 
@@ -97,23 +150,23 @@ def _score_swap(
     phi: Dict[int, int],
     inverse_phi: Dict[int, int],
     weights: InteractionWeights,
-    topology: Topology,
+    rows: List[List[float]],
 ) -> float:
     """The paper's routing score for moving ``u`` from its site to
     ``target_site`` (displacing whatever sits there)."""
     score = 0.0
+    row_u = rows[site_u]
+    row_t = rows[target_site]
+    displaced = inverse_phi.get(target_site)
     for v, weight in weights.partners(u).items():
         if v == u or v not in phi:
             continue
         site_v = phi[v]
-        if v == inverse_phi.get(target_site):
+        if v == displaced:
             # The displaced qubit is the partner itself; after the SWAP
             # their distance is unchanged (they trade places), so skip.
             continue
-        score += (
-            topology.distance(site_u, site_v) - topology.distance(target_site, site_v)
-        ) * weight
-    displaced = inverse_phi.get(target_site)
+        score += (row_u[site_v] - row_t[site_v]) * weight
     if displaced is not None and displaced != u:
         for v, weight in weights.partners(displaced).items():
             if v == displaced or v not in phi or v == u:
@@ -121,10 +174,7 @@ def _score_swap(
             site_v = phi[v]
             # Displaced qubit moves from target_site to site_u; penalize
             # (negative contribution) if that takes it away from partners.
-            score += (
-                topology.distance(target_site, site_v)
-                - topology.distance(site_u, site_v)
-            ) * weight
+            score += (row_t[site_v] - row_u[site_v]) * weight
     return score
 
 
@@ -136,11 +186,13 @@ def _bfs_fallback(
     """One hop along a shortest active path between the farthest operand
     pair.  Returns ``None`` when the pair is disconnected."""
     # Pick the farthest pair; walk u one hop toward v.
+    rows = topology.grid.distance_rows()
     best_pair: Optional[Tuple[int, int]] = None
     best_dist = -1.0
     for i, u in enumerate(gate_qubits):
+        row_u = rows[phi[u]]
         for v in gate_qubits[i + 1:]:
-            dist = topology.distance(phi[u], phi[v])
+            dist = row_u[phi[v]]
             if dist > best_dist:
                 best_dist = dist
                 best_pair = (u, v)

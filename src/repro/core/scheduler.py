@@ -36,13 +36,17 @@ def schedule_circuit(
     topology: Topology,
     config: CompilerConfig,
     initial_mapping: Dict[int, int],
+    dag: Optional[CircuitDag] = None,
 ) -> Tuple[List[List[ScheduledOp]], Dict[int, int]]:
     """Route and schedule ``circuit`` starting from ``initial_mapping``.
 
     Returns ``(schedule, final_mapping)`` where the schedule is a list of
-    timesteps, each a list of :class:`ScheduledOp`.
+    timesteps, each a list of :class:`ScheduledOp`.  Callers that already
+    built a :class:`CircuitDag` for ``circuit`` (the compile pipeline
+    does, for placement weights) may pass it to avoid a rebuild.
     """
-    dag = CircuitDag(circuit)
+    if dag is None:
+        dag = CircuitDag(circuit)
     frontier = Frontier(dag)
     restriction = config.restriction_model()
     grid = topology.grid
@@ -54,6 +58,26 @@ def schedule_circuit(
 
     schedule: List[List[ScheduledOp]] = []
     max_timesteps = config.max_timestep_factor * (len(circuit) + 1)
+    dag_gate = dag.gate
+    #: sites tuple -> Zone.  Zones are immutable functions of the operand
+    #: sites (restriction and grid are fixed per schedule), and the same
+    #: few site tuples recur timestep after timestep.
+    zone_cache: Dict[Tuple[int, ...], Zone] = {}
+
+    # The lookahead weights are pure functions of the set of completed
+    # gates, so they are computed lazily (only when a SWAP must actually
+    # be scored) and reused across consecutive swap-only timesteps.
+    cached_weights = None
+    cached_num_done = -1
+
+    def current_weights():
+        nonlocal cached_weights, cached_num_done
+        if cached_num_done != frontier.num_done:
+            cached_weights = frontier_weights(
+                frontier, config.lookahead_layers, config.lookahead_decay
+            )
+            cached_num_done = frontier.num_done
+        return cached_weights
 
     while not frontier.all_done():
         if len(schedule) >= max_timesteps:
@@ -61,9 +85,6 @@ def schedule_circuit(
                 f"no progress after {len(schedule)} timesteps "
                 f"({frontier.num_done}/{len(dag)} gates scheduled)"
             )
-        weights = frontier_weights(
-            frontier, config.lookahead_layers, config.lookahead_decay
-        )
         timestep_index = len(schedule)
         ops: List[ScheduledOp] = []
         zones: List[Zone] = []
@@ -73,29 +94,35 @@ def schedule_circuit(
 
         ready = sorted(frontier.ready)
         blocked_far: List[int] = []
+        track_zones = not restriction.disabled
+
+        site_of = phi.__getitem__
 
         # Phase 1: execute everything already in range.
         for idx in ready:
-            gate = dag.gate(idx)
-            sites = tuple(phi[q] for q in gate.qubits)
-            if any(s in busy for s in sites):
+            gate = dag_gate(idx)
+            sites = tuple(map(site_of, gate.qubits))
+            if not busy.isdisjoint(sites):
                 continue
             if gate.arity >= 2 and not topology.can_interact(sites):
                 blocked_far.append(idx)
                 continue
-            if not _zone_fits(sites, zones, restriction, grid):
+            if not _zone_fits(sites, zones, restriction, grid, zone_cache):
                 continue
             ops.append(ScheduledOp(gate, sites, timestep_index, source_index=idx))
-            zones.append(_zone_of(sites, restriction, grid))
+            if track_zones:
+                zones.append(_zone_of(sites, restriction, grid, zone_cache))
             busy.update(sites)
             completed.append(idx)
 
         # Phase 2: one routing SWAP per still-blocked gate, if it fits.
         for idx in blocked_far:
-            gate = dag.gate(idx)
-            if any(phi[q] in busy for q in gate.qubits):
+            gate = dag_gate(idx)
+            if not busy.isdisjoint(map(site_of, gate.qubits)):
                 continue
-            proposal = propose_swap(gate.qubits, phi, inverse_phi, topology, weights)
+            proposal = propose_swap(
+                gate.qubits, phi, inverse_phi, topology, current_weights()
+            )
             if proposal is None:
                 if not ops and not pending_swaps:
                     raise DisconnectedTopologyError(
@@ -104,14 +131,15 @@ def schedule_circuit(
                     )
                 continue
             swap_sites = proposal.sites
-            if any(s in busy for s in swap_sites):
+            if not busy.isdisjoint(swap_sites):
                 continue
-            if not _zone_fits(swap_sites, zones, restriction, grid):
+            if not _zone_fits(swap_sites, zones, restriction, grid, zone_cache):
                 continue
             ops.append(
                 ScheduledOp(None, swap_sites, timestep_index, source_index=None)
             )
-            zones.append(_zone_of(swap_sites, restriction, grid))
+            if track_zones:
+                zones.append(_zone_of(swap_sites, restriction, grid, zone_cache))
             busy.update(swap_sites)
             pending_swaps.append(swap_sites)
 
@@ -131,9 +159,41 @@ def schedule_circuit(
     return schedule, phi
 
 
-def _zone_of(sites: Tuple[int, ...], restriction: RestrictionModel, grid) -> Zone:
-    positions = [grid.position(s) for s in sites]
-    return restriction.zone_for(positions)
+def _zone_of(
+    sites: Tuple[int, ...],
+    restriction: RestrictionModel,
+    grid,
+    cache: Optional[Dict[Tuple[int, ...], Zone]] = None,
+) -> Zone:
+    if cache is not None:
+        zone = cache.get(sites)
+        if zone is not None:
+            return zone
+    zone = _build_zone(sites, restriction, grid)
+    if cache is not None:
+        cache[sites] = zone
+    return zone
+
+
+def _build_zone(sites: Tuple[int, ...], restriction: RestrictionModel, grid) -> Zone:
+    positions_list = grid.positions_list()
+    n = len(sites)
+    if n == 1:
+        span = 0.0
+    elif n == 2:
+        span = grid.distance_rows()[sites[0]][sites[1]]
+    else:
+        rows = grid.distance_rows()
+        span = 0.0
+        for i in range(n):
+            row = rows[sites[i]]
+            for j in range(i + 1, n):
+                dist = row[sites[j]]
+                if dist > span:
+                    span = dist
+    return restriction.zone_for_span(
+        [positions_list[s] for s in sites], span
+    )
 
 
 def _zone_fits(
@@ -141,6 +201,7 @@ def _zone_fits(
     committed: List[Zone],
     restriction: RestrictionModel,
     grid,
+    cache: Optional[Dict[Tuple[int, ...], Zone]] = None,
 ) -> bool:
     """Whether a gate at ``sites`` is zone-compatible with this timestep.
 
@@ -150,7 +211,7 @@ def _zone_fits(
     """
     if restriction.disabled or not committed:
         return True
-    zone = _zone_of(sites, restriction, grid)
+    zone = _zone_of(sites, restriction, grid, cache)
     return not any(zone.intersects(other) for other in committed)
 
 

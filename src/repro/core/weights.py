@@ -17,7 +17,7 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
-from repro.circuits.dag import CircuitDag, Frontier, interaction_pairs
+from repro.circuits.dag import CircuitDag, Frontier
 
 Pair = Tuple[int, int]
 
@@ -70,16 +70,24 @@ def weights_from_layers(
 
     ``layers[0]`` is the frontier (``l = l_c``), so the weight contribution
     of a gate in ``layers[k]`` is ``e^{-decay * k}``.
+
+    Accumulation order matters: contributions are added gate by gate in
+    (layer, gate, pair) order, exactly as :meth:`InteractionWeights.add`
+    would — float sums stay bit-identical to the naive loop.
     """
     weights = InteractionWeights()
+    pair_weights = weights._weights
+    per_qubit = weights._per_qubit
     for offset, layer in enumerate(layers):
         factor = math.exp(-decay * offset)
         for gate_idx in layer:
-            gate = dag.gate(gate_idx)
-            if gate.arity < 2 or gate.is_measurement:
-                continue
-            for u, v in interaction_pairs(gate):
-                weights.add(u, v, factor)
+            for u, v in dag.weight_pairs(gate_idx):
+                key = (u, v) if u <= v else (v, u)
+                pair_weights[key] += factor
+                pu = per_qubit[u]
+                pu[v] = pu.get(v, 0.0) + factor
+                pv = per_qubit[v]
+                pv[u] = pv.get(u, 0.0) + factor
     return weights
 
 

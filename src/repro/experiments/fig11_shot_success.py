@@ -78,9 +78,14 @@ def _success_trace(
     strategy = make_strategy(strategy_name, noise=noise)
     strategy.begin(circuit, topology, CompilerConfig(max_interaction_distance=mid))
     trace = [strategy.shot_success_rate(noise)]
+    # Incrementally maintained active list (strategies never mutate
+    # occupancy); the scalar ``integers`` draws are untouched, so the
+    # stream matches the historical per-iteration rebuild exactly.
+    active = topology.active_sites()
     for _ in range(max_holes):
-        active = topology.active_sites()
-        site = int(active[int(rng.integers(len(active)))])
+        index = int(rng.integers(len(active)))
+        site = int(active[index])
+        del active[index]
         topology.remove_atom(site)
         outcome = strategy.on_loss(site)
         if not outcome.coped:

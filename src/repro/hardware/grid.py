@@ -11,9 +11,31 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 Position = Tuple[int, int]
+
+
+class _GridCaches:
+    """Derived-geometry caches shared by all grids of one shape."""
+
+    __slots__ = (
+        "distance_rows",
+        "neighbor_tables",
+        "sorted_neighbor_tables",
+        "center_order",
+        "positions",
+    )
+
+    def __init__(self) -> None:
+        self.distance_rows: Optional[List[List[float]]] = None
+        self.neighbor_tables: Dict[int, List[Tuple[int, ...]]] = {}
+        self.sorted_neighbor_tables: Dict[int, List[Tuple[int, ...]]] = {}
+        self.center_order: Optional[List[int]] = None
+        self.positions: Optional[List[Position]] = None
+
+
+_GRID_CACHES: Dict[Tuple[int, int], _GridCaches] = {}
 
 
 class Grid:
@@ -28,6 +50,11 @@ class Grid:
         self.rows = rows
         self.cols = cols
         self.num_sites = rows * cols
+        # Geometry caches are keyed by (rows, cols) and shared process-wide
+        # so the many Grid instances a sweep materializes (one per
+        # unpickled task payload / topology copy) reuse one distance table
+        # instead of rebuilding it per instance.
+        self._caches = _GRID_CACHES.setdefault((rows, cols), _GridCaches())
 
     @classmethod
     def square(cls, side: int) -> "Grid":
@@ -38,7 +65,15 @@ class Grid:
     def position(self, site: int) -> Position:
         if not 0 <= site < self.num_sites:
             raise IndexError(f"site {site} outside grid of {self.num_sites}")
-        return divmod(site, self.cols)
+        return self.positions_list()[site]
+
+    def positions_list(self) -> List[Position]:
+        """Per-site ``(row, col)`` positions, cached (index = site)."""
+        caches = self._caches
+        if caches.positions is None:
+            cols = self.cols
+            caches.positions = [divmod(s, cols) for s in range(self.num_sites)]
+        return caches.positions
 
     def site_at(self, row: int, col: int) -> int:
         if not (0 <= row < self.rows and 0 <= col < self.cols):
@@ -53,9 +88,29 @@ class Grid:
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two sites (unit pitch)."""
+        if 0 <= a < self.num_sites and 0 <= b < self.num_sites:
+            return self.distance_rows()[a][b]
         ra, ca = divmod(a, self.cols)
         rb, cb = divmod(b, self.cols)
         return math.hypot(ra - rb, ca - cb)
+
+    def distance_rows(self) -> List[List[float]]:
+        """The full pairwise distance table, ``rows()[a][b] == distance(a, b)``.
+
+        Hot loops (routing, placement scoring) index rows directly instead
+        of paying a method call per pair.  Entries are produced by the same
+        ``math.hypot`` calls as :meth:`distance`, so values are
+        bit-identical to computing distances on the fly.
+        """
+        caches = self._caches
+        if caches.distance_rows is None:
+            positions = self.positions_list()
+            hypot = math.hypot
+            caches.distance_rows = [
+                [hypot(ra - rb, ca - cb) for rb, cb in positions]
+                for ra, ca in positions
+            ]
+        return caches.distance_rows
 
     def max_distance(self) -> float:
         """Corner-to-corner distance — the MID giving all-to-all connectivity.
@@ -74,11 +129,14 @@ class Grid:
         Used by the initial mapper, which grows the placement outward from
         the device center (§III-A).
         """
-        center = ((self.rows - 1) / 2.0, (self.cols - 1) / 2.0)
-        def key(site: int) -> Tuple[float, int]:
-            r, c = divmod(site, self.cols)
-            return (math.hypot(r - center[0], c - center[1]), site)
-        return sorted(range(self.num_sites), key=key)
+        caches = self._caches
+        if caches.center_order is None:
+            center = ((self.rows - 1) / 2.0, (self.cols - 1) / 2.0)
+            def key(site: int) -> Tuple[float, int]:
+                r, c = divmod(site, self.cols)
+                return (math.hypot(r - center[0], c - center[1]), site)
+            caches.center_order = sorted(range(self.num_sites), key=key)
+        return list(caches.center_order)
 
     # -- interaction neighborhoods ---------------------------------------------
 
@@ -88,16 +146,52 @@ class Grid:
 
     def neighbors(self, site: int, max_distance: float) -> List[int]:
         """Sites within interaction range of ``site`` (excluding itself)."""
-        row, col = divmod(site, self.cols)
-        result = []
-        for dr, dc in self.neighbor_offsets(max_distance):
-            r, c = row + dr, col + dc
-            if 0 <= r < self.rows and 0 <= c < self.cols:
-                result.append(r * self.cols + c)
-        return result
+        return list(self.neighbor_table(max_distance)[site])
+
+    def neighbor_table(self, max_distance: float) -> List[Tuple[int, ...]]:
+        """Per-site neighbor tuples (nearest-first offset order), cached.
+
+        The geometry never changes, so the table is computed once per
+        (grid, max_distance) and shared by every topology query.
+        """
+        key = round(max_distance * 1e9)
+        table = self._caches.neighbor_tables.get(key)
+        if table is None:
+            offsets = _offsets_within(key)
+            table = []
+            for site in range(self.num_sites):
+                row, col = divmod(site, self.cols)
+                result = []
+                for dr, dc in offsets:
+                    r, c = row + dr, col + dc
+                    if 0 <= r < self.rows and 0 <= c < self.cols:
+                        result.append(r * self.cols + c)
+                table.append(tuple(result))
+            self._caches.neighbor_tables[key] = table
+        return table
+
+    def sorted_neighbor_table(self, max_distance: float) -> List[Tuple[int, ...]]:
+        """Like :meth:`neighbor_table` but each tuple sorted by site index
+        (the order BFS path searches consume)."""
+        key = round(max_distance * 1e9)
+        table = self._caches.sorted_neighbor_tables.get(key)
+        if table is None:
+            table = [
+                tuple(sorted(nbrs)) for nbrs in self.neighbor_table(max_distance)
+            ]
+            self._caches.sorted_neighbor_tables[key] = table
+        return table
 
     def __repr__(self) -> str:
         return f"Grid({self.rows}x{self.cols})"
+
+    def __getstate__(self) -> Dict:
+        # The geometry caches are derived data; keep pickles (compile
+        # cache artifacts, spawn-pool task payloads) small.
+        return {"rows": self.rows, "cols": self.cols}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__init__(state["rows"], state["cols"])
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Grid):

@@ -16,13 +16,13 @@ crosstalk; ``zone_scale > 1`` models that.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 from repro.utils.geometry import (
     EPS,
     Point,
-    disks_overlap,
     euclidean,
     max_pairwise_distance,
 )
@@ -85,15 +85,20 @@ class Zone:
 
     def intersects(self, other: "Zone") -> bool:
         """Open-disk union intersection test between two zones."""
-        for c1 in self.centers:
+        r1 = self.radius
+        r2 = other.radius
+        overlap_limit = r1 + r2 - EPS
+        hyp = math.hypot
+        for x1, y1 in self.centers:
             for c2 in other.centers:
-                if disks_overlap(c1, self.radius, c2, other.radius):
+                dist = hyp(x1 - c2[0], y1 - c2[1])
+                if dist < overlap_limit:
                     return True
                 # A radius-0 zone (single-qubit gate) still conflicts when
                 # its center sits inside the other zone's disks.
-                if self.radius <= EPS and euclidean(c1, c2) < other.radius - EPS:
+                if r1 <= EPS and dist < r2 - EPS:
                     return True
-                if other.radius <= EPS and euclidean(c1, c2) < self.radius - EPS:
+                if r2 <= EPS and dist < r1 - EPS:
                     return True
         return False
 
@@ -120,7 +125,11 @@ class RestrictionModel:
 
     def zone_for(self, positions: Sequence[Point]) -> Zone:
         """Zone of a gate whose operands sit at ``positions``."""
-        span = max_pairwise_distance(positions)
+        return self.zone_for_span(positions, max_pairwise_distance(positions))
+
+    def zone_for_span(self, positions: Sequence[Point], span: float) -> Zone:
+        """Zone of a gate whose max pairwise operand distance is already
+        known (the scheduler reads it off the grid's distance table)."""
         radius = self.radius_function(span) * self.zone_scale
         return Zone(tuple(positions), radius)
 

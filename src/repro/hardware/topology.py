@@ -35,6 +35,10 @@ class Topology:
         for site in self._lost:
             if not 0 <= site < grid.num_sites:
                 raise IndexError(f"lost site {site} outside grid")
+        #: (source, target) -> shortest path, valid for the current hole
+        #: pattern only (cleared on every occupancy change).  Routing asks
+        #: for the same blocked pair timestep after timestep.
+        self._path_cache: Dict[Tuple[int, int], Optional[List[int]]] = {}
 
     @classmethod
     def square(
@@ -55,7 +59,18 @@ class Topology:
     def lost_sites(self) -> FrozenSet[int]:
         return frozenset(self._lost)
 
+    @property
+    def lost_view(self) -> Set[int]:
+        """The live set of lost sites — read-only by contract.
+
+        Hot loops (routing candidate scans) test membership against this
+        set directly instead of paying a frozenset copy per query.
+        """
+        return self._lost
+
     def active_sites(self) -> List[int]:
+        if not self._lost:
+            return list(range(self.grid.num_sites))
         return [s for s in range(self.grid.num_sites) if s not in self._lost]
 
     @property
@@ -72,10 +87,12 @@ class Topology:
         if not 0 <= site < self.grid.num_sites:
             raise IndexError(f"site {site} outside grid")
         self._lost.add(site)
+        self._path_cache.clear()
 
     def reload(self) -> None:
         """Refill every site (a full array reload)."""
         self._lost.clear()
+        self._path_cache.clear()
 
     # -- interaction queries --------------------------------------------------
 
@@ -84,22 +101,61 @@ class Topology:
 
     def can_interact(self, sites: Iterable[int]) -> bool:
         """Whether all (active) sites are pairwise within the MID."""
-        sites = list(sites)
+        if not isinstance(sites, (tuple, list)):
+            sites = tuple(sites)
+        n = len(sites)
+        num_sites = self.grid.num_sites
+        lost = self._lost
+        limit = self.max_interaction_distance + 1e-9
+        if n == 2:
+            a, b = sites
+            return (
+                0 <= a < num_sites and a not in lost
+                and 0 <= b < num_sites and b not in lost
+                and self.grid.distance_rows()[a][b] <= limit
+            )
+        if n == 3:
+            a, b, c = sites
+            if not (
+                0 <= a < num_sites and a not in lost
+                and 0 <= b < num_sites and b not in lost
+                and 0 <= c < num_sites and c not in lost
+            ):
+                return False
+            rows = self.grid.distance_rows()
+            row_a = rows[a]
+            return (
+                row_a[b] <= limit
+                and row_a[c] <= limit
+                and rows[b][c] <= limit
+            )
         for site in sites:
             if not self.is_active(site):
                 return False
-        for i in range(len(sites)):
-            for j in range(i + 1, len(sites)):
-                if self.grid.distance(sites[i], sites[j]) > self.max_interaction_distance + 1e-9:
+        rows = self.grid.distance_rows()
+        for i in range(n):
+            row = rows[sites[i]]
+            for j in range(i + 1, n):
+                if row[sites[j]] > limit:
                     return False
         return True
 
     def neighbors(self, site: int) -> List[int]:
         """Active sites within interaction range of ``site``."""
-        return [
-            s for s in self.grid.neighbors(site, self.max_interaction_distance)
-            if s not in self._lost
-        ]
+        table = self.grid.neighbor_table(self.max_interaction_distance)
+        if not self._lost:
+            return list(table[site])
+        lost = self._lost
+        return [s for s in table[site] if s not in lost]
+
+    def sorted_neighbors(self, site: int) -> List[int]:
+        """Active neighbors of ``site`` in ascending site order (the order
+        deterministic BFS walks consume)."""
+        table = self.grid.sorted_neighbor_table(self.max_interaction_distance)
+        if not self._lost:
+            return list(table[site])
+        lost = self._lost
+        return [s for s in table[site] if s not in lost]
 
     # -- graph queries ------------------------------------------------------------
 
@@ -142,21 +198,31 @@ class Topology:
             return None
         if source == target:
             return [source]
+        key = (source, target)
+        if key in self._path_cache:
+            cached = self._path_cache[key]
+            return None if cached is None else list(cached)
+        table = self.grid.sorted_neighbor_table(self.max_interaction_distance)
+        lost = self._lost
         parent: Dict[int, int] = {source: source}
         queue = deque([source])
+        result: Optional[List[int]] = None
         while queue:
             site = queue.popleft()
-            for nbr in sorted(self.neighbors(site)):
-                if nbr in parent:
+            for nbr in table[site]:
+                if nbr in lost or nbr in parent:
                     continue
                 parent[nbr] = site
                 if nbr == target:
                     path = [target]
                     while path[-1] != source:
                         path.append(parent[path[-1]])
-                    return list(reversed(path))
+                    result = list(reversed(path))
+                    queue.clear()
+                    break
                 queue.append(nbr)
-        return None
+        self._path_cache[key] = None if result is None else list(result)
+        return result
 
     def __repr__(self) -> str:
         return (

@@ -26,7 +26,7 @@ from typing import List, Optional
 from repro.api.serialize import serializable
 from repro.circuits.circuit import Circuit
 from repro.core.config import CompilerConfig
-from repro.hardware.loss import LossModel
+from repro.hardware.loss import LossModel, ShotLossSampler
 from repro.hardware.noise import NoiseModel
 from repro.hardware.timing import TimingModel
 from repro.hardware.topology import Topology
@@ -73,6 +73,17 @@ class RunResult:
 
     @property
     def mean_shots_between_reloads(self) -> float:
+        """Mean successful shots per *closed* inter-reload segment.
+
+        ``shots_between_reloads`` holds one entry per segment; a segment
+        closes when a reload fires, and the run's final (still open)
+        segment is appended when the shot loop ends.  With at least one
+        reload, the open tail is excluded — it was cut short by the shot
+        budget, not by a reload.  With no reloads the single open segment
+        *is* the whole run, so the mean equals ``shots_successful``
+        (including the degenerate case of a result with no recorded
+        segments at all).
+        """
         closed = self.shots_between_reloads[:-1] or self.shots_between_reloads
         if not closed:
             return float(self.shots_successful)
@@ -103,6 +114,11 @@ class ShotRunner:
         self.loss_model = loss_model or LossModel.lossless_readout()
         self.timing = timing or TimingModel.paper_defaults()
         self.rng = ensure_rng(rng)
+        #: Whether the generator was created here (seed or None) rather
+        #: than passed in.  Owned generators are never observed by the
+        #: caller after a run, so the loss sampler may buffer its uniform
+        #: draws in blocks (identical consumed stream, fewer RNG calls).
+        self._owns_rng = rng is not self.rng
 
     # -- main loop ---------------------------------------------------------------------
 
@@ -118,6 +134,9 @@ class ShotRunner:
         result = RunResult(strategy_name=self.strategy.name)
         clock = 0.0
         segment_successes = 0
+        sampler = ShotLossSampler(
+            self.loss_model, self.rng, buffered=self._owns_rng
+        )
 
         if include_compile_event:
             clock = self._emit(result, "compile", clock, program.compile_seconds)
@@ -139,10 +158,9 @@ class ShotRunner:
             clock = self._emit(
                 result, "fluorescence", clock, self.timing.fluorescence_time
             )
-            lost = self.loss_model.sample_shot_losses(
+            lost = sampler.sample(
                 self.topology.active_sites(),
                 self.strategy.current_measured_sites(),
-                rng=self.rng,
             )
 
             # 3. Score the shot before adapting.

@@ -63,7 +63,15 @@ def max_swap_budget(noise: NoiseModel, drop_factor: float = 0.5) -> int:
 
     The paper's example: at a 96.5% two-qubit fidelity, a 50% drop budget
     allows six SWAPs (each SWAP is three two-qubit gates).
+
+    ``drop_factor`` must lie in ``(0, 1]``: zero or negative values have
+    no finite budget and values above 1 would demand fixups *increase*
+    success.
     """
+    if not 0.0 < drop_factor <= 1.0:
+        raise ValueError(
+            f"drop_factor must be in (0, 1], got {drop_factor!r}"
+        )
     fidelity = noise.fidelity(2)
     if fidelity >= 1.0:
         return 10**9

@@ -83,11 +83,16 @@ def max_loss_tolerance(
         topology = Topology.square(grid_side, max_interaction_distance)
         strategy.begin(circuit, topology, base_config)
         sustained = 0
-        while True:
-            active = topology.active_sites()
-            if not active:
-                break
-            site = int(active[int(generator.integers(len(active)))])
+        # Strategies never mutate occupancy, so the active-site list can
+        # be maintained incrementally instead of rebuilt per loss.  The
+        # site-selection draws stay scalar: each ``integers(n)`` has a
+        # trial-dependent bound, so the draw sequence (and generator
+        # state) is exactly the historical one.
+        active = topology.active_sites()
+        while active:
+            index = int(generator.integers(len(active)))
+            site = int(active[index])
+            del active[index]
             topology.remove_atom(site)
             outcome = strategy.on_loss(site)
             if not outcome.coped:

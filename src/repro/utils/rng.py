@@ -27,6 +27,14 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, (bool, np.bool_)):
+        # bool is a subclass of int, so without this check True would
+        # silently seed as 1 — almost certainly a bug at the call site
+        # (e.g. a flag passed where a seed was expected).
+        raise TypeError(
+            f"seed must not be a bool (got {rng!r}); pass an int, a "
+            "numpy Generator, or None"
+        )
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
@@ -41,6 +49,11 @@ def base_seed_from(rng: RngLike) -> int:
     unchanged; a generator contributes a single draw; ``None`` draws a
     fresh unseeded value.
     """
+    if isinstance(rng, (bool, np.bool_)):
+        raise TypeError(
+            f"seed must not be a bool (got {rng!r}); pass an int, a "
+            "numpy Generator, or None"
+        )
     if isinstance(rng, (int, np.integer)):
         return int(rng)
     return int(ensure_rng(rng).integers(0, 2**63 - 1))

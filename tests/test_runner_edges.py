@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import CompilerConfig
 from repro.hardware.loss import LossModel
 from repro.hardware.topology import Topology
-from repro.loss.runner import ShotRunner
+from repro.loss.runner import RunResult, ShotRunner
 from repro.loss.strategies import make_strategy
 from repro.workloads.registry import build_circuit
 
@@ -126,6 +126,54 @@ def test_first_loss_reload_short_circuits_remaining_losses():
     assert result.reload_count == 1
     assert result.interfering_losses + result.spare_losses == 1
     assert runner.topology.lost_sites == frozenset()
+
+
+# -- mean_shots_between_reloads open-segment semantics (satellite regression) ------
+
+
+def test_mean_shots_single_open_segment_is_whole_run():
+    """No reloads: the one (open) segment IS the run, so the mean equals
+    shots_successful — the open tail is only excluded when a reload closed
+    at least one segment before it."""
+    result = RunResult(
+        strategy_name="x",
+        shots_successful=7,
+        reload_count=0,
+        shots_between_reloads=[7],
+    )
+    assert result.mean_shots_between_reloads == 7.0
+
+
+def test_mean_shots_multi_segment_drops_open_tail():
+    """With reloads, only the closed segments count: the trailing open
+    segment was cut short by the shot budget, not by a reload."""
+    result = RunResult(
+        strategy_name="x",
+        shots_successful=9,
+        reload_count=2,
+        shots_between_reloads=[4, 2, 3],  # 3 is the open tail
+    )
+    assert result.mean_shots_between_reloads == pytest.approx(3.0)
+
+
+def test_mean_shots_no_segments_recorded():
+    result = RunResult(strategy_name="x", shots_successful=5)
+    assert result.mean_shots_between_reloads == 5.0
+
+
+def test_mean_shots_matches_runner_end_to_end():
+    runner = _runner()
+    used = runner.strategy.begin(
+        runner.circuit, runner.topology.copy(), runner.config
+    ).used_sites()
+    victim = min(used)
+    # Shot 1 succeeds, shot 2 loses a program atom and reloads (closing a
+    # segment of 1 success); shots 3-5 are clean and form the open tail.
+    runner.loss_model = ScriptedLoss([set(), {victim}, set(), set(), set()])
+    result = runner.run(max_shots=5)
+    assert result.reload_count == 1
+    assert result.shots_between_reloads == [1, 3]
+    assert result.mean_shots_between_reloads == pytest.approx(1.0)
 
 
 def test_spare_losses_do_not_invalidate_shot():

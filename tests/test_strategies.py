@@ -45,6 +45,16 @@ class TestFactoryAndBudget:
         perfect = NoiseModel("p", {1: 1.0, 2: 1.0}, 1.0, 1.0, {2: 1e-6})
         assert max_swap_budget(perfect) > 10**6
 
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, 2.0])
+    def test_swap_budget_rejects_bad_drop_factor(self, bad):
+        with pytest.raises(ValueError, match="drop_factor"):
+            max_swap_budget(NOISE, drop_factor=bad)
+
+    def test_swap_budget_drop_factor_one_allows_nothing(self):
+        # log(1) == 0: no success erosion is tolerated, so zero SWAPs —
+        # but the boundary value itself is legal.
+        assert max_swap_budget(NOISE, drop_factor=1.0) == 0
+
 
 class TestAlwaysReload:
     def test_spare_loss_ignored(self):

@@ -72,6 +72,24 @@ class TestLossModelRates:
         combined = 1 - (1 - 0.01) * (1 - 0.5)
         assert expected == pytest.approx(8 * 0.01 + 2 * combined)
 
+    def test_expected_losses_all_sites_measured(self):
+        # Boundary: num_measured == num_sites is valid (every atom read out).
+        m = LossModel(vacuum_loss=0.01, measurement_loss=0.5)
+        combined = 1 - (1 - 0.01) * (1 - 0.5)
+        assert m.expected_losses_per_shot(10, 10) == pytest.approx(10 * combined)
+
+    def test_expected_losses_measured_exceeds_sites(self):
+        m = LossModel.lossless_readout()
+        with pytest.raises(ValueError, match="num_measured"):
+            m.expected_losses_per_shot(10, 11)
+
+    def test_expected_losses_negative_inputs(self):
+        m = LossModel.lossless_readout()
+        with pytest.raises(ValueError, match="num_sites"):
+            m.expected_losses_per_shot(-1, 0)
+        with pytest.raises(ValueError, match="num_measured"):
+            m.expected_losses_per_shot(10, -2)
+
 
 class TestLossSampling:
     def test_zero_rates_no_losses(self):

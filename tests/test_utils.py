@@ -13,7 +13,7 @@ from repro.utils.geometry import (
     max_pairwise_distance,
     point_in_disk,
 )
-from repro.utils.rng import ensure_rng, spawn
+from repro.utils.rng import base_seed_from, ensure_rng, spawn
 from repro.utils.textplot import format_series, format_table, percent
 
 
@@ -33,6 +33,21 @@ class TestRng:
     def test_bad_type(self):
         with pytest.raises(TypeError):
             ensure_rng("seed")
+
+    @pytest.mark.parametrize("flag", [True, False, np.True_])
+    def test_bool_seed_rejected(self, flag):
+        # bool is a subclass of int; without an explicit check True would
+        # silently seed as 1.  The error must name the offending value.
+        with pytest.raises(TypeError, match=repr(bool(flag))):
+            ensure_rng(flag)
+
+    @pytest.mark.parametrize("flag", [True, False, np.False_])
+    def test_base_seed_rejects_bool(self, flag):
+        with pytest.raises(TypeError, match=repr(bool(flag))):
+            base_seed_from(flag)
+
+    def test_base_seed_int_passthrough(self):
+        assert base_seed_from(41) == 41
 
     def test_spawn_independent_streams(self):
         children = spawn(0, 3)
