@@ -15,6 +15,8 @@ Usage::
     python -m repro store show KEY --format json
     python -m repro store gc --max-size 64
     python -m repro serve --port 8000 --store /tmp/repro-store --jobs 2
+    python -m repro serve --port 8000 --store /shared/store --jobs 0
+    python -m repro worker --server http://host:8000 --store /shared/store
 
 Every run executes under a :class:`repro.api.Session` built from the
 flags — no process-global execution state.  ``--format text`` (the
@@ -41,8 +43,14 @@ between runs sharing a warm cache — or replayed from the store.
 
 ``serve`` starts the HTTP serving layer (:mod:`repro.serve`) over a
 result store: cached results are answered from disk, misses run on a
-background job queue.  Ctrl-C anywhere exits with the conventional
-SIGINT status 130 after cleaning up (no orphaned cache temp files).
+background job queue.  The first stderr line is machine-parseable —
+``[serve] listening on http://HOST:PORT`` — so scripts binding ``--port
+0`` (an ephemeral port; no more races for fixed ones) can read back the
+address.  ``--jobs 0`` starts no local execution threads: jobs wait for
+``worker`` processes, which pull them over the :mod:`repro.fleet`
+protocol (lease + heartbeat; a killed worker's jobs are reclaimed and
+re-run elsewhere).  Ctrl-C anywhere exits with the conventional SIGINT
+status 130 after cleaning up (no orphaned cache temp files).
 """
 
 from __future__ import annotations
@@ -283,25 +291,37 @@ def _cmd_store(args) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
-def _cmd_serve(args) -> int:
-    if args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
-        return 2
+def _install_service_signal_handlers() -> None:
+    """SIGINT/SIGTERM → KeyboardInterrupt for long-lived commands.
+
+    Non-interactive shells start backgrounded children with SIGINT set
+    to SIG_IGN, and Python then never installs its KeyboardInterrupt
+    handler — `kill -INT` on a `serve &` would be silently ignored.  A
+    long-lived process must be stoppable, so re-install the default
+    handler; SIGTERM (the service-manager spelling of "stop") takes the
+    same clean-shutdown path.
+    """
     import signal
 
-    from repro.serve.http import build_server
-
-    # Non-interactive shells start backgrounded children with SIGINT
-    # set to SIG_IGN, and Python then never installs its
-    # KeyboardInterrupt handler — `kill -INT` on a `serve &` would be
-    # silently ignored.  A long-lived server must be stoppable, so
-    # re-install the default handler; SIGTERM (the service-manager
-    # spelling of "stop") takes the same clean-shutdown path.
     def _raise_interrupt(signum, frame):
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGINT, signal.default_int_handler)
     signal.signal(signal.SIGTERM, _raise_interrupt)
+
+
+def _cmd_serve(args) -> int:
+    if args.jobs < 0:
+        print("--jobs must be >= 0 (0 = fleet workers only)",
+              file=sys.stderr)
+        return 2
+    if args.lease_ttl <= 0:
+        print("--lease-ttl must be > 0", file=sys.stderr)
+        return 2
+
+    from repro.serve.http import build_server
+
+    _install_service_signal_handlers()
 
     try:
         server = build_server(
@@ -311,6 +331,7 @@ def _cmd_serve(args) -> int:
             cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
             workers=args.jobs,
             quiet=args.quiet,
+            lease_ttl=args.lease_ttl,
         )
     except OSError as error:
         # Port in use, privileged port, unresolvable host: one stderr
@@ -319,10 +340,18 @@ def _cmd_serve(args) -> int:
               file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
+    # The FIRST stderr line, flushed, machine-parseable: with --port 0
+    # the kernel picked the port, and test/smoke scripts read it from
+    # here instead of racing each other for fixed port numbers.
+    print(f"[serve] listening on http://{host}:{port}", file=sys.stderr,
+          flush=True)
     print(f"[serving experiments on http://{host}:{port} — "
-          f"store {server.app.store.path}, {args.jobs} job worker(s); "
+          f"store {server.app.store.path}, "
+          f"{args.jobs} local job worker(s)"
+          f"{' (fleet workers only)' if args.jobs == 0 else ''}; "
           "endpoints: /experiments /results/<key> /run /jobs/<id> "
-          "/metrics /healthz; stop with Ctrl-C]", file=sys.stderr)
+          "/metrics /healthz /fleet/claim|heartbeat|complete; "
+          "stop with Ctrl-C]", file=sys.stderr)
     try:
         server.serve_forever()
     finally:
@@ -330,6 +359,68 @@ def _cmd_serve(args) -> int:
         # queue, and only then let the KeyboardInterrupt propagate to
         # main()'s exit-code handler.
         server.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if not args.server.startswith(("http://", "https://")):
+        print(f"--server must be an http(s) URL, got {args.server!r}",
+              file=sys.stderr)
+        return 2
+    import threading
+
+    from repro.exec.cache import CompileCache
+    from repro.fleet.worker import FleetWorker, default_worker_id
+
+    _install_service_signal_handlers()
+
+    # One shared compile cache + result store per process; each job
+    # still executes under its own read-through Session, mirroring the
+    # server's in-process job queue exactly.  Point --store at the same
+    # directory the server serves (shared filesystem) and results are
+    # visible to every node the moment they land.
+    cache = CompileCache(_resolve_cache_dir(args.cache_dir, args.no_cache))
+    store = ResultStore(_resolve_store_dir(args.store))
+
+    def session_factory():
+        return Session(jobs=1, cache=cache, store=store)
+
+    stop = threading.Event()
+    workers = []
+    for slot in range(args.jobs):
+        if args.id is not None:
+            worker_id = args.id if args.jobs == 1 else f"{args.id}-{slot}"
+        else:
+            worker_id = default_worker_id(slot if args.jobs > 1 else None)
+        workers.append(FleetWorker(
+            args.server, session_factory, worker_id=worker_id,
+            poll_interval=args.poll, claim_delay=args.claim_delay,
+            quiet=args.quiet, stop_event=stop,
+        ))
+    print(f"[worker] {len(workers)} claim loop(s) polling {args.server} — "
+          f"store {store.path}, cache {cache.path or 'memory'}; "
+          "stop with Ctrl-C]", file=sys.stderr, flush=True)
+    threads = [
+        threading.Thread(target=worker.run, daemon=True,
+                         kwargs={"max_jobs": args.max_jobs},
+                         name=f"repro-fleet-claim-{worker.worker_id}")
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        # Ctrl-C lands here; daemon claim loops die with the process
+        # and any leased job is reclaimed by the server after ttl.
+        for thread in threads:
+            while thread.is_alive():
+                thread.join(timeout=0.2)
+    finally:
+        stop.set()
+    done = sum(worker.jobs_done for worker in workers)
+    print(f"[worker] drained: {done} job(s) completed", file=sys.stderr)
     return 0
 
 
@@ -461,7 +552,13 @@ def main(argv=None) -> int:
     serve_parser.add_argument(
         "--jobs", type=int, default=2, metavar="N",
         help="concurrent experiment jobs (queue worker threads; each "
-             "job's sweep grid runs inline)",
+             "job's sweep grid runs inline; 0 = no local execution, "
+             "jobs wait for fleet workers)",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="S",
+        help="seconds a fleet worker's job lease survives without a "
+             "heartbeat before the job is reclaimed (default 15)",
     )
     serve_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -476,6 +573,59 @@ def main(argv=None) -> int:
         "--quiet", action="store_true",
         help="suppress the per-request access log on stderr",
     )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="join a serve endpoint's worker fleet (see repro.fleet)")
+    worker_parser.add_argument(
+        "--server", required=True, metavar="URL",
+        help="the serve endpoint to pull jobs from "
+             "(e.g. http://127.0.0.1:8000)",
+    )
+    worker_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent claim loops in this process (default 1; each "
+             "claimed job's sweep grid runs inline)",
+    )
+    worker_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory results are persisted into — point "
+             "it at the server's store (shared filesystem) so replays "
+             "are free fleet-wide (default: $REPRO_STORE_DIR, else "
+             "~/.cache/repro/results)",
+    )
+    worker_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="compile-cache directory shared by this worker's jobs "
+             "(default: $REPRO_CACHE_DIR, else ~/.cache/repro/compile)",
+    )
+    worker_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk compile cache (memory-only)",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="idle-claim poll interval in seconds (default 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after each claim loop completes N jobs "
+             "(default: run until stopped)",
+    )
+    worker_parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker id reported to the server (default: host-pid)",
+    )
+    worker_parser.add_argument(
+        "--claim-delay", type=float, default=0.0, metavar="S",
+        help="sleep S seconds between claiming a job and executing it — "
+             "fault-injection aid for fleet drills (kill a worker that "
+             "holds a lease but has not finished)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-job log on stderr",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -487,6 +637,8 @@ def main(argv=None) -> int:
             return _cmd_store(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         return _cmd_run(args)
     except KeyboardInterrupt:
         # The engine has already cancelled its workers and reclaimed

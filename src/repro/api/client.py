@@ -23,11 +23,15 @@ standard library is used (``urllib``), like everything else here.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
 
 from repro.api.results import ExperimentResult
+
+#: Seconds to back off before the single idempotent-GET retry.
+RETRY_BACKOFF_S = 0.2
 
 
 class RemoteRunError(RuntimeError):
@@ -74,7 +78,21 @@ class RemoteSession:
             return response, json.loads(response.read().decode("utf-8"))
 
     def _get(self, path: str) -> Dict[str, Any]:
-        _, decoded = self._request("GET", path)
+        """One GET, retried once on a *transient* transport failure.
+
+        GETs are idempotent, so a dropped connection or timeout (a
+        server restarting, a load balancer shedding) is worth one short
+        backoff and retry before surfacing.  An ``HTTPError`` is a
+        *response* — the server spoke — and is never retried here
+        (it subclasses ``URLError``, hence the explicit re-raise).
+        """
+        try:
+            _, decoded = self._request("GET", path)
+        except urllib.error.HTTPError:
+            raise
+        except (urllib.error.URLError, TimeoutError, ConnectionError):
+            time.sleep(RETRY_BACKOFF_S)
+            _, decoded = self._request("GET", path)
         return decoded
 
     # -- the Session-shaped surface ----------------------------------------------

@@ -58,6 +58,12 @@ class Session:
         via ``ExperimentResult.from_dict`` instead of recomputing
         (``force=True`` escapes).  ``None`` (the default) always
         recomputes.
+    ``backend``
+        Optional :class:`~repro.exec.engine.ExecBackend` pinning *how*
+        this session's task grids execute (inline, spawn pool, ...).
+        ``None`` (the default) picks inline vs. spawn-pool from
+        ``jobs`` per call — the historical behavior.  A per-call
+        ``run_tasks(jobs=...)`` override still wins over the pin.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class Session:
         seed: Optional[int] = None,
         store_dir: Optional[str] = None,
         store: Optional[ResultStore] = None,
+        backend=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -75,11 +82,17 @@ class Session:
             raise ValueError("pass cache or cache_dir, not both")
         if store is not None and store_dir is not None:
             raise ValueError("pass store or store_dir, not both")
+        if backend is not None and not callable(getattr(backend, "run",
+                                                        None)):
+            raise TypeError(
+                f"backend must be an ExecBackend (object with a run() "
+                f"method), got {backend!r}")
         self.jobs = int(jobs)
         self.cache = cache if cache is not None else CompileCache(cache_dir)
         self.seed = None if seed is None else int(seed)
         self.store = (store if store is not None
                       else ResultStore(store_dir) if store_dir else None)
+        self.backend = backend
         #: Sweep tasks dispatched under this session (parent-side count,
         #: any worker level) — zero across a pure store replay.
         self.tasks_executed = 0
@@ -182,8 +195,9 @@ class Session:
     def __repr__(self) -> str:
         where = self.cache.path or "memory"
         stored = self.store.path if self.store is not None else None
+        pinned = f", backend={self.backend!r}" if self.backend else ""
         return (f"Session(jobs={self.jobs}, cache={where!r}, "
-                f"seed={self.seed!r}, store={stored!r})")
+                f"seed={self.seed!r}, store={stored!r}{pinned})")
 
 
 # -- current / default session resolution ------------------------------------------------

@@ -7,8 +7,9 @@ The subsystem has three parts:
   sweep tasks, plus spawn-safe per-task seed derivation;
 * :mod:`repro.exec.cache` — a two-tier (memory + on-disk) compile cache
   shared by every figure driver, strategy, and worker process;
-* :mod:`repro.exec.engine` — ``run_tasks``: fan a flat task list over a
-  ``ProcessPoolExecutor`` with results returned in task order;
+* :mod:`repro.exec.engine` — ``run_tasks``: execute a flat task list
+  through an :class:`ExecBackend` (inline or spawn-pool) with results
+  returned in task order;
 * :mod:`repro.exec.grid` — ``grid_map``: the declarative layer every
   experiment driver routes through — cells in, canonical keys and
   derived seeds stamped, results out in grid order.
@@ -34,7 +35,11 @@ from repro.exec.cache import (
     swap_cache,
 )
 from repro.exec.engine import (
+    ExecBackend,
+    InlineBackend,
+    SpawnPoolBackend,
     current_jobs,
+    resolve_backend,
     run_tasks,
     set_jobs,
     sweep_settings,
@@ -51,6 +56,9 @@ from repro.exec.keys import (
 __all__ = [
     "SCHEMA_VERSION",
     "CompileCache",
+    "ExecBackend",
+    "InlineBackend",
+    "SpawnPoolBackend",
     "cached_compile",
     "cell_key",
     "compile_key",
@@ -59,6 +67,7 @@ __all__ = [
     "grid_map",
     "get_cache",
     "get_cache_dir",
+    "resolve_backend",
     "run_tasks",
     "set_cache_dir",
     "set_jobs",

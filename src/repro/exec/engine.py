@@ -2,8 +2,18 @@
 
 Experiment drivers describe their work as a flat list of picklable task
 dicts (built with :func:`repro.exec.keys.task_grid`) plus a module-level
-task function; :func:`run_tasks` executes the list either inline
-(``jobs=1``) or fanned out over a spawn-context ``ProcessPoolExecutor``.
+task function; :func:`run_tasks` executes the list through an
+:class:`ExecBackend` — inline (:class:`InlineBackend`) or fanned out
+over a spawn-context ``ProcessPoolExecutor``
+(:class:`SpawnPoolBackend`).
+
+The backend is the seam "a backend = a Session policy" refers to: a
+:class:`repro.api.Session` may pin one explicitly (``Session(backend=
+InlineBackend())``), and anything that executes task grids — the CLI,
+the serving layer's job queue, a fleet worker — selects execution by
+configuring its session, never by branching inside a driver.  When no
+backend is pinned, ``run_tasks`` picks inline vs. spawn-pool from the
+session's ``jobs`` count, exactly as it always has.
 
 Execution policy — worker count and compile cache — belongs to the
 active :class:`repro.api.Session`; ``run_tasks`` resolves it per call,
@@ -121,6 +131,111 @@ def _reclaim_interrupted_temp_files(cache) -> None:
         sweep_stale_temp_files(cache.path, max_age_seconds=1.0)
 
 
+class ExecBackend:
+    """How a flat task list actually executes.
+
+    One instance is stateless execution *mechanism*; everything that is
+    *policy* (which cache, how many jobs, RNG base) stays on the
+    :class:`repro.api.Session` the backend receives.  Implementations
+    must uphold the engine contract: results in task order, exceptions
+    propagated, and bitwise-identical output for any backend whenever
+    tasks derive their seeds from canonical keys.
+    """
+
+    #: Short human-readable name (diagnostics, ``repr``).
+    name = "abstract"
+
+    def run(self, task_fn: Callable, tasks: List, session) -> List:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class InlineBackend(ExecBackend):
+    """Execute every task in the calling thread, under the session."""
+
+    name = "inline"
+
+    def run(self, task_fn: Callable, tasks: List, session) -> List:
+        try:
+            with session.activate():
+                return [task_fn(task) for task in tasks]
+        except KeyboardInterrupt:
+            _reclaim_interrupted_temp_files(session.cache)
+            raise
+
+
+class SpawnPoolBackend(ExecBackend):
+    """Fan tasks over a spawn-context ``ProcessPoolExecutor``.
+
+    ``jobs=None`` (the default) sizes the pool from the session's
+    ``jobs`` at run time; a fixed ``jobs`` pins it.  A run whose
+    effective worker count collapses to one (a single task, or
+    ``jobs=1``) delegates to :class:`InlineBackend` — identical results
+    either way, without pool startup cost.
+    """
+
+    name = "spawn-pool"
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def __repr__(self) -> str:
+        return f"SpawnPoolBackend(jobs={self.jobs!r})"
+
+    def run(self, task_fn: Callable, tasks: List, session) -> List:
+        jobs = self.jobs if self.jobs is not None else session.jobs
+        jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1
+        if jobs == 1:
+            return INLINE.run(task_fn, tasks, session)
+
+        context = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(session.cache.path,),
+        )
+        try:
+            futures = [pool.submit(task_fn, task) for task in tasks]
+            return [future.result() for future in futures]
+        except BaseException as error:
+            # Fail fast: don't let a 200-cell grid grind on for minutes
+            # after cell 3 has already doomed the sweep.
+            pool.shutdown(wait=True, cancel_futures=True)
+            if isinstance(error, KeyboardInterrupt):
+                # Every worker has exited: reclaim the temp files of any
+                # writer the interrupt killed mid-write, so Ctrl-C
+                # leaves no orphaned .tmp-* litter in the shared cache
+                # directory.
+                _reclaim_interrupted_temp_files(session.cache)
+            raise
+        finally:
+            pool.shutdown(wait=True)
+
+
+#: Shared stateless singleton for the inline path.
+INLINE = InlineBackend()
+
+
+def resolve_backend(session, jobs: Optional[int] = None) -> ExecBackend:
+    """The backend a ``run_tasks`` call will execute through.
+
+    An explicit ``jobs`` argument wins (it is a per-call override, same
+    as it always was); otherwise a backend pinned on the session wins;
+    otherwise the session's ``jobs`` count picks inline vs. spawn-pool.
+    """
+    if jobs is not None:
+        return INLINE if int(jobs) <= 1 else SpawnPoolBackend(int(jobs))
+    pinned = getattr(session, "backend", None)
+    if pinned is not None:
+        return pinned
+    return INLINE if session.jobs <= 1 else SpawnPoolBackend()
+
+
 def run_tasks(
     task_fn: Callable,
     tasks: Iterable,
@@ -130,10 +245,11 @@ def run_tasks(
     """Run ``task_fn`` over every task, returning results in task order.
 
     ``task_fn`` must be a module-level callable and each task picklable
-    when ``jobs > 1`` (spawn-based workers re-import the module).  A task
-    raising an exception propagates it to the caller.  ``session``
-    defaults to the active :class:`repro.api.Session`, which supplies
-    the default worker count and the cache directory workers share.
+    under a process-pool backend (spawn-based workers re-import the
+    module).  A task raising an exception propagates it to the caller.
+    ``session`` defaults to the active :class:`repro.api.Session`, which
+    supplies the backend (or the worker count to pick one) and the cache
+    directory workers share.
     """
     from repro.api.session import current_session
 
@@ -143,37 +259,4 @@ def run_tasks(
     # Parent-side dispatch counter: a store-replayed experiment must be
     # able to prove it executed zero tasks.
     session.tasks_executed += len(tasks)
-    if jobs is None:
-        jobs = session.jobs
-    jobs = max(1, min(int(jobs), len(tasks))) if tasks else 1
-
-    if jobs == 1:
-        try:
-            with session.activate():
-                return [task_fn(task) for task in tasks]
-        except KeyboardInterrupt:
-            _reclaim_interrupted_temp_files(session.cache)
-            raise
-
-    context = multiprocessing.get_context("spawn")
-    pool = ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=context,
-        initializer=_worker_init,
-        initargs=(session.cache.path,),
-    )
-    try:
-        futures = [pool.submit(task_fn, task) for task in tasks]
-        return [future.result() for future in futures]
-    except BaseException as error:
-        # Fail fast: don't let a 200-cell grid grind on for minutes
-        # after cell 3 has already doomed the sweep.
-        pool.shutdown(wait=True, cancel_futures=True)
-        if isinstance(error, KeyboardInterrupt):
-            # Every worker has exited: reclaim the temp files of any
-            # writer the interrupt killed mid-write, so Ctrl-C leaves
-            # no orphaned .tmp-* litter in the shared cache directory.
-            _reclaim_interrupted_temp_files(session.cache)
-        raise
-    finally:
-        pool.shutdown(wait=True)
+    return resolve_backend(session, jobs).run(task_fn, tasks, session)

@@ -1,0 +1,47 @@
+"""The distributed worker fleet: N nodes draining one job queue.
+
+``repro.serve`` turned the experiment stack into a long-lived service
+whose throughput was capped by one machine's cores; this package scales
+job execution past that box.  The server keeps the queue, the
+content-addressed result store, and a :class:`LeaseTable`; workers
+(``python -m repro worker --server URL``) pull work over HTTP:
+
+* :mod:`repro.fleet.protocol` — the claim / heartbeat / complete wire
+  protocol both sides speak;
+* :mod:`repro.fleet.leases` — :class:`LeaseTable`: time-bounded claims,
+  heartbeat renewal, and expiry, which is how dead workers are detected
+  and their jobs reclaimed;
+* :mod:`repro.fleet.worker` — :class:`FleetWorker`: the pull loop that
+  claims a job, executes it under its own read-through
+  :class:`repro.api.Session`, heartbeats while running, and reports the
+  outcome.
+
+Determinism makes the failure story simple: any worker recomputes the
+identical envelope (the ``jobs=1 == jobs=N`` contract at fleet scale),
+so a lease lost mid-run costs only time, never correctness, and the
+content-addressed store absorbs double-writes byte-identically.
+"""
+
+from repro.fleet.leases import Lease, LeaseLost, LeaseTable
+from repro.fleet.protocol import (
+    CLAIM_PATH,
+    COMPLETE_PATH,
+    DEFAULT_LEASE_TTL,
+    HEARTBEAT_PATH,
+    heartbeat_interval,
+)
+from repro.fleet.worker import FleetWorker, WorkerClient, default_worker_id
+
+__all__ = [
+    "CLAIM_PATH",
+    "COMPLETE_PATH",
+    "DEFAULT_LEASE_TTL",
+    "FleetWorker",
+    "HEARTBEAT_PATH",
+    "Lease",
+    "LeaseLost",
+    "LeaseTable",
+    "WorkerClient",
+    "default_worker_id",
+    "heartbeat_interval",
+]

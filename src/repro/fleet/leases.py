@@ -1,0 +1,162 @@
+"""Server-side lease bookkeeping for the worker fleet.
+
+A :class:`LeaseTable` answers one question for every claimed job: *is
+the worker that took this job still alive?*  Claiming grants a lease
+with a time-to-live; each heartbeat renews it; a worker that stops
+beating (killed, wedged, partitioned) lets the lease expire, and the
+job queue's reaper pops the expired lease and puts the job back on the
+queue for the next claimant.  A job is therefore never stranded by a
+dead worker, and never executed concurrently by two live ones —
+:meth:`heartbeat` and :meth:`release` both refuse a worker whose lease
+has been lost, so a zombie coming back from a long GC pause cannot
+complete a job someone else now owns.
+
+The clock is injectable (and monotonic by default) so expiry tests
+never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fleet.protocol import DEFAULT_LEASE_TTL
+
+
+class LeaseLost(Exception):
+    """The worker no longer holds the lease it is acting under."""
+
+
+@dataclass
+class Lease:
+    """One worker's time-bounded claim on one job."""
+
+    job_id: str
+    worker: str
+    granted_at: float
+    deadline: float
+    heartbeats: int = 0
+    renewed_at: float = field(default=0.0)
+
+    def expires_in(self, now: float) -> float:
+        return self.deadline - now
+
+
+class LeaseTable:
+    """Thread-safe job-id → :class:`Lease` map with expiry."""
+
+    def __init__(self, ttl: float = DEFAULT_LEASE_TTL,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: Dict[str, Lease] = {}
+        #: Monotonic count of leases that expired and were popped.
+        self.expired_total = 0
+
+    def grant(self, job_id: str, worker: str) -> Lease:
+        """Lease ``job_id`` to ``worker`` for one ttl window.
+
+        The queue only claims jobs it just took off the queue, so an
+        existing *live* lease for the same job is a bookkeeping bug —
+        refuse it loudly rather than silently double-granting.
+        """
+        now = self._clock()
+        with self._lock:
+            current = self._leases.get(job_id)
+            if current is not None and current.deadline > now:
+                raise LeaseLost(
+                    f"job {job_id} is already leased to {current.worker}")
+            lease = Lease(job_id=job_id, worker=worker, granted_at=now,
+                          deadline=now + self.ttl, renewed_at=now)
+            self._leases[job_id] = lease
+            return lease
+
+    def heartbeat(self, job_id: str, worker: str) -> float:
+        """Renew ``worker``'s lease; returns the new seconds-to-expiry.
+
+        Raises :class:`LeaseLost` when the lease is gone, expired, or
+        held by someone else — the caller should stop working the job.
+        """
+        now = self._clock()
+        with self._lock:
+            lease = self._checked_locked(job_id, worker, now)
+            lease.deadline = now + self.ttl
+            lease.heartbeats += 1
+            lease.renewed_at = now
+            return lease.expires_in(now)
+
+    def release(self, job_id: str, worker: str) -> Lease:
+        """Drop ``worker``'s lease (the job reached a terminal state).
+
+        Raises :class:`LeaseLost` under the same conditions as
+        :meth:`heartbeat`: a worker whose lease expired mid-run must not
+        complete the job out from under its new owner.
+        """
+        now = self._clock()
+        with self._lock:
+            lease = self._checked_locked(job_id, worker, now)
+            del self._leases[job_id]
+            return lease
+
+    def _checked_locked(self, job_id: str, worker: str,
+                        now: float) -> Lease:
+        lease = self._leases.get(job_id)
+        if lease is None:
+            raise LeaseLost(f"no lease for job {job_id}")
+        if lease.worker != worker:
+            raise LeaseLost(
+                f"job {job_id} is leased to {lease.worker}, not {worker}")
+        if lease.deadline <= now:
+            raise LeaseLost(
+                f"lease on job {job_id} expired "
+                f"{now - lease.deadline:.1f}s ago")
+        return lease
+
+    def pop_expired(self) -> List[Lease]:
+        """Remove and return every expired lease (for requeueing)."""
+        now = self._clock()
+        with self._lock:
+            expired = [lease for lease in self._leases.values()
+                       if lease.deadline <= now]
+            for lease in expired:
+                del self._leases[lease.job_id]
+            self.expired_total += len(expired)
+            return expired
+
+    def active(self) -> int:
+        """Live (unexpired) lease count."""
+        now = self._clock()
+        with self._lock:
+            return sum(1 for lease in self._leases.values()
+                       if lease.deadline > now)
+
+    def describe(self) -> Dict[str, Any]:
+        """Lease-table state for ``/metrics``."""
+        now = self._clock()
+        with self._lock:
+            return {
+                "ttl_s": self.ttl,
+                "active": sum(1 for lease in self._leases.values()
+                              if lease.deadline > now),
+                "expired_total": self.expired_total,
+                "held": [
+                    {
+                        "job": lease.job_id,
+                        "worker": lease.worker,
+                        "expires_in_s": round(lease.expires_in(now), 3),
+                        "heartbeats": lease.heartbeats,
+                    }
+                    for lease in sorted(self._leases.values(),
+                                        key=lambda lease: lease.job_id)
+                    if lease.deadline > now
+                ],
+            }
+
+    def get(self, job_id: str) -> Optional[Lease]:
+        with self._lock:
+            return self._leases.get(job_id)

@@ -1,0 +1,86 @@
+"""The fleet wire protocol: what a worker and the server agree on.
+
+Three POST endpoints on the serving layer, all JSON-bodied:
+
+``POST /fleet/claim``    ``{"worker": id}``
+    → ``{"job": null}`` when the queue is empty, else ``{"job": {...}}``
+    with the fields of :func:`describe_claim` — everything a worker
+    needs to execute the job (experiment, quick, params, force, store
+    key) plus the lease terms (``lease_ttl_s``, the derived
+    ``heartbeat_interval_s``).
+
+``POST /fleet/heartbeat`` ``{"worker": id, "job": job_id}``
+    → ``{"expires_in_s": ...}`` while the lease is held; HTTP 409 with
+    ``error_type: "LeaseLost"`` once it is not (expired and reclaimed,
+    or completed by another worker) — the worker should abandon the job.
+
+``POST /fleet/complete`` ``{"worker": id, "job": job_id,
+                            "envelope": {...}} | {... "error": "..."}``
+    → ``{"status": "done"|"failed"}``; HTTP 409 when the lease was lost
+    (the late result is discarded — the reclaimed job re-executes
+    deterministically on whoever holds the lease now).
+
+The protocol is deliberately *pull*-based: workers poll ``claim``, the
+server never needs to reach a worker, so workers can sit behind NAT,
+come and go freely, and die without ceremony — a missed-heartbeat lease
+expiry is the only death certificate required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: Route paths, shared by the router and the worker client.
+CLAIM_PATH = "/fleet/claim"
+HEARTBEAT_PATH = "/fleet/heartbeat"
+COMPLETE_PATH = "/fleet/complete"
+
+#: Default seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_TTL = 15.0
+
+#: Workers heartbeat every ``ttl / HEARTBEAT_PER_TTL`` seconds, so a
+#: lease survives two missed beats but not three.
+HEARTBEAT_PER_TTL = 3.0
+
+#: Suggested idle-poll interval returned with an empty claim.
+DEFAULT_POLL_INTERVAL = 0.5
+
+#: Worker ids appear in URLs-adjacent logs and metrics keys; keep them
+#: printable and bounded.
+_MAX_WORKER_ID = 128
+
+
+def validate_worker_id(value: Any) -> str:
+    """A claim/heartbeat/complete body's ``worker`` field, checked."""
+    if not isinstance(value, str) or not value.strip():
+        raise ValueError('request needs a non-empty "worker" id string')
+    if len(value) > _MAX_WORKER_ID:
+        raise ValueError(
+            f"worker id longer than {_MAX_WORKER_ID} characters")
+    return value
+
+
+def heartbeat_interval(lease_ttl: float) -> float:
+    """How often a worker holding a lease of ``lease_ttl`` should beat."""
+    return max(0.05, float(lease_ttl) / HEARTBEAT_PER_TTL)
+
+
+def describe_claim(job, lease_ttl: float) -> Dict[str, Any]:
+    """The JSON a successful ``POST /fleet/claim`` hands the worker.
+
+    Carries the raw *override* params (not the resolved grid): the
+    worker re-resolves through the same ``ExperimentSpec``, so its
+    read-through session lands on the identical store key the server
+    computed — one canonicalization, two processes, zero drift.
+    """
+    return {
+        "id": job.id,
+        "experiment": job.experiment,
+        "key": job.key,
+        "quick": job.quick,
+        "force": job.force,
+        "params": dict(job.params),
+        "attempt": job.attempts,
+        "lease_ttl_s": float(lease_ttl),
+        "heartbeat_interval_s": heartbeat_interval(lease_ttl),
+    }

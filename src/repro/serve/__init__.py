@@ -19,6 +19,12 @@ Layering (each importable and testable on its own):
 The matching client is :class:`repro.api.client.RemoteSession`, whose
 ``run()`` proxies to a server — a backend really is just a Session
 policy.
+
+The queue also speaks the :mod:`repro.fleet` pull protocol
+(``/fleet/claim``, ``/fleet/heartbeat``, ``/fleet/complete``): remote
+workers claim queued jobs under heartbeat-renewed leases, and a lease
+that expires is reaped and the job requeued — run the server with zero
+local workers (``--jobs 0``) for a fleet-only deployment.
 """
 
 from repro.serve.app import Response, ServeApp

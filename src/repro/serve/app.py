@@ -17,7 +17,13 @@ Endpoints::
                              directly, queue a miss ({"wait": true}
                              blocks for the result bytes)
     GET  /jobs/<id>          job lifecycle/status
-    GET  /metrics            counters + queue state + recent ledger tail
+    GET  /metrics            counters + queue + fleet state + recent
+                             ledger tail
+    POST /fleet/claim        a fleet worker pulls the next queued job
+                             (lease granted; {"job": null} when idle)
+    POST /fleet/heartbeat    renew a claimed job's lease (409 LeaseLost
+                             once reclaimed)
+    POST /fleet/complete     report a leased job's envelope or error
 
 Every response body is JSON.  Result-envelope bodies are rendered with
 :func:`repro.api.store.canonical_json`, the single spelling of envelope
@@ -36,6 +42,15 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.api.registry import ExperimentSpec, all_experiments
 from repro.api.store import ResultStore, canonical_json, store_key
+from repro.fleet.leases import LeaseLost
+from repro.fleet.protocol import (
+    CLAIM_PATH,
+    COMPLETE_PATH,
+    DEFAULT_POLL_INTERVAL,
+    HEARTBEAT_PATH,
+    describe_claim,
+    validate_worker_id,
+)
 from repro.serve.jobs import FAILED, JobQueue
 from repro.serve.metrics import ServeMetrics
 
@@ -137,6 +152,12 @@ class ServeApp:
                 return "GET /jobs/<id>", self._job(path[len("/jobs/"):])
             if path == "/metrics" and method == "GET":
                 return "GET /metrics", self._metrics()
+            if path == CLAIM_PATH and method == "POST":
+                return f"POST {CLAIM_PATH}", self._fleet_claim(body)
+            if path == HEARTBEAT_PATH and method == "POST":
+                return f"POST {HEARTBEAT_PATH}", self._fleet_heartbeat(body)
+            if path == COMPLETE_PATH and method == "POST":
+                return f"POST {COMPLETE_PATH}", self._fleet_complete(body)
             return (f"{method} (unrouted)",
                     _error(404, f"no route for {method} {path}"))
         except Exception as error:  # pragma: no cover - defensive boundary
@@ -243,6 +264,7 @@ class ServeApp:
         return _json_response(200, {
             **self.metrics.snapshot(),
             "queue": self.jobs.describe(),
+            "fleet_workers": self.jobs.describe_fleet(),
             "store_dir": self.store.path,
             "recent_runs": {
                 "window": RECENT_WINDOW,
@@ -251,3 +273,85 @@ class ServeApp:
                 "misses": len(recent) - hits,
             },
         })
+
+    # -- fleet protocol ----------------------------------------------------------
+
+    def _fleet_body(self, body: bytes, need_job: bool):
+        """``(worker_id, job_id, payload)`` from a fleet request body.
+
+        Raises ``ValueError`` (→ 400) on anything malformed; ``job_id``
+        is only required (and validated) when ``need_job`` is set.
+        """
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            raise ValueError("request body must be JSON") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        worker_id = validate_worker_id(payload.get("worker"))
+        job_id = payload.get("job")
+        if need_job and not isinstance(job_id, str):
+            raise ValueError('request needs a "job" id string')
+        return worker_id, job_id, payload
+
+    def _fleet_claim(self, body: bytes) -> Response:
+        try:
+            worker_id, _, _ = self._fleet_body(body, need_job=False)
+        except ValueError as error:
+            return _error(400, str(error), "ValueError")
+        job = self.jobs.claim(worker_id)
+        if job is None:
+            return _json_response(200, {
+                "job": None,
+                "retry_in_s": DEFAULT_POLL_INTERVAL,
+            })
+        return _json_response(200, {
+            "job": describe_claim(job, self.jobs.leases.ttl),
+        })
+
+    def _fleet_heartbeat(self, body: bytes) -> Response:
+        try:
+            worker_id, job_id, _ = self._fleet_body(body, need_job=True)
+        except ValueError as error:
+            return _error(400, str(error), "ValueError")
+        try:
+            remaining = self.jobs.heartbeat(worker_id, job_id)
+        except KeyError as error:
+            return _error(404, str(error).strip("'\""), "KeyError")
+        except LeaseLost as error:
+            return _error(409, str(error), "LeaseLost")
+        return _json_response(200, {"expires_in_s": round(remaining, 3)})
+
+    def _fleet_complete(self, body: bytes) -> Response:
+        try:
+            worker_id, job_id, payload = self._fleet_body(body, need_job=True)
+        except ValueError as error:
+            return _error(400, str(error), "ValueError")
+        envelope = payload.get("envelope")
+        error_text = payload.get("error")
+        if envelope is None and error_text is None:
+            return _error(400, 'complete needs an "envelope" or an '
+                               '"error"', "ValueError")
+        if envelope is not None and not isinstance(envelope, dict):
+            return _error(400, '"envelope" must be a JSON object',
+                          "ValueError")
+        if error_text is not None and not isinstance(error_text, str):
+            return _error(400, '"error" must be a string', "ValueError")
+        wall_s = payload.get("wall_s")
+        tasks_executed = payload.get("tasks_executed")
+        if wall_s is not None and not isinstance(wall_s, (int, float)):
+            return _error(400, '"wall_s" must be a number', "ValueError")
+        if tasks_executed is not None and not isinstance(tasks_executed,
+                                                         int):
+            return _error(400, '"tasks_executed" must be an integer',
+                          "ValueError")
+        try:
+            job = self.jobs.complete(
+                worker_id, job_id, envelope=envelope, error=error_text,
+                wall_s=wall_s, tasks_executed=tasks_executed)
+        except KeyError as error:
+            return _error(404, str(error).strip("'\""), "KeyError")
+        except LeaseLost as error:
+            return _error(409, str(error), "LeaseLost")
+        return _json_response(200, {"status": job.status,
+                                    "key": job.key})

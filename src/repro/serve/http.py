@@ -27,6 +27,7 @@ from typing import Optional
 from repro.api.session import Session
 from repro.api.store import ResultStore
 from repro.exec.cache import CompileCache
+from repro.fleet.protocol import DEFAULT_LEASE_TTL
 from repro.serve.app import ServeApp
 from repro.serve.jobs import JobQueue
 from repro.serve.metrics import ServeMetrics
@@ -91,13 +92,17 @@ def build_server(
     cache_dir: Optional[str] = None,
     workers: int = 2,
     quiet: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> ReproHTTPServer:
     """Assemble the full serving stack on ``host:port`` (0 = ephemeral).
 
     All jobs share one compile cache and one result store; each job gets
     its own read-through :class:`Session` (sweeps run inline, ``jobs=1``
     — concurrency comes from the queue's ``workers`` threads, not from
-    nested process pools).
+    nested process pools).  ``workers=0`` starts no local execution
+    threads at all: every job waits for a fleet worker
+    (``python -m repro worker``) to claim it over the ``/fleet/*``
+    routes, under a lease of ``lease_ttl`` seconds.
     """
     store = ResultStore(store_dir)
     cache = CompileCache(cache_dir)
@@ -106,6 +111,8 @@ def build_server(
         lambda: Session(jobs=1, cache=cache, store=store),
         workers=workers,
         metrics=metrics,
+        store=store,
+        lease_ttl=lease_ttl,
     )
     app = ServeApp(store=store, jobs=jobs, metrics=metrics)
     return ReproHTTPServer((host, port), app, quiet=quiet)

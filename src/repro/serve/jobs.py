@@ -2,7 +2,14 @@
 
 A ``POST /run`` that misses the result store does not compute inline in
 the request handler — it becomes a :class:`Job` on a :class:`JobQueue`,
-executed by one of N worker threads.  Three properties matter:
+executed by one of N worker threads **or pulled by a fleet worker over
+HTTP** (:mod:`repro.fleet`): remote workers :meth:`~JobQueue.claim` the
+next queued job under a lease, renew it with
+:meth:`~JobQueue.heartbeat`, and report the outcome with
+:meth:`~JobQueue.complete`; a lease that expires (the worker died or
+partitioned) is reaped and the job goes back on the queue for the next
+claimant — local thread or remote worker alike.  ``workers=0`` runs the
+queue in fleet-only mode.  Three properties matter:
 
 * **In-flight deduplication.**  Concurrent requests for the same store
   key coalesce onto one job (``submit`` returns the existing in-flight
@@ -39,6 +46,8 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.fleet.leases import LeaseLost, LeaseTable
+from repro.fleet.protocol import DEFAULT_LEASE_TTL
 from repro.serve.metrics import ServeMetrics
 
 #: Job lifecycle states.
@@ -63,6 +72,11 @@ class Job:
     #: The job session's dispatch counter after the run — zero when the
     #: read-through session replayed a stored envelope.
     tasks_executed: Optional[int] = None
+    #: The fleet worker currently holding (or last to hold) this job;
+    #: ``None`` for local thread execution.
+    worker: Optional[str] = None
+    #: Times this job was handed to an executor (> 1 after a reclaim).
+    attempts: int = 0
     created_at: float = field(default_factory=time.time)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
@@ -87,6 +101,10 @@ class Job:
             payload["wall_s"] = round(self.wall_s, 4)
         if self.tasks_executed is not None:
             payload["tasks_executed"] = self.tasks_executed
+        if self.worker is not None:
+            payload["worker"] = self.worker
+        if self.attempts > 1:
+            payload["attempts"] = self.attempts
         if self.status == DONE:
             payload["result_url"] = f"/results/{self.key}"
         return payload
@@ -103,9 +121,11 @@ class JobQueue:
 
     def __init__(self, session_factory: Callable[[], Any], workers: int = 2,
                  metrics: Optional[ServeMetrics] = None,
-                 max_finished: int = 1024):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+                 max_finished: int = 1024,
+                 store=None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         if max_finished < 1:
             raise ValueError(f"max_finished must be >= 1, got {max_finished}")
         self._session_factory = session_factory
@@ -113,12 +133,23 @@ class JobQueue:
         #: oldest are forgotten, bounding a long-lived server's memory.
         self._max_finished = max_finished
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        #: ResultStore that fleet completions persist envelopes into
+        #: (local thread jobs persist through their read-through
+        #: sessions instead); ``None`` keeps results in-memory only.
+        self._store = store
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         #: store key -> the queued/running (non-force) job computing it.
         self._inflight: Dict[str, Job] = {}
+        #: Remote claims, bounded by lease expiry (see repro.fleet).
+        self.leases = LeaseTable(ttl=lease_ttl)
+        #: worker id -> counters; every fleet worker ever seen.
+        self._fleet_workers: Dict[str, Dict[str, Any]] = {}
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
         self._shutdown = False
+        #: workers == 0 is fleet-only mode: jobs wait for remote claims.
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"repro-serve-job-{index}")
@@ -167,10 +198,24 @@ class JobQueue:
             by_status: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
+            in_flight = len(self._inflight)
         return {
             "workers": len(self._threads),
-            "in_flight": len(self._inflight),
+            "in_flight": in_flight,
             "by_status": dict(sorted(by_status.items())),
+        }
+
+    def describe_fleet(self) -> Dict[str, Any]:
+        """Fleet-level state for ``GET /metrics``: leases + per-worker."""
+        self.reap_expired()
+        with self._lock:
+            workers = {
+                worker_id: dict(stats)
+                for worker_id, stats in sorted(self._fleet_workers.items())
+            }
+        return {
+            "workers": workers,
+            "leases": self.leases.describe(),
         }
 
     # -- execution ---------------------------------------------------------------
@@ -184,6 +229,7 @@ class JobQueue:
 
     def _run_job(self, job: Job) -> None:
         job.status = RUNNING
+        job.attempts += 1
         start = time.perf_counter()
         session = None
         outcome = FAILED
@@ -200,16 +246,175 @@ class JobQueue:
         finally:
             job.wall_s = time.perf_counter() - start
             job.tasks_executed = getattr(session, "tasks_executed", None)
-            # The terminal status flips last: a poller that observes
-            # "done" must already see envelope/wall_s/tasks_executed.
-            job.status = outcome
-            self.metrics.count("jobs_completed" if outcome == DONE
-                               else "jobs_failed")
-            with self._lock:
-                if self._inflight.get(job.key) is job:
-                    del self._inflight[job.key]
-                self._prune_finished_locked()
-            job._done.set()
+            self._finalize(job, outcome)
+
+    def _finalize(self, job: Job, outcome: str) -> None:
+        """Shared terminal transition for local and fleet execution."""
+        # The terminal status flips last: a poller that observes
+        # "done" must already see envelope/wall_s/tasks_executed.
+        job.status = outcome
+        self.metrics.count("jobs_completed" if outcome == DONE
+                           else "jobs_failed")
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+            self._prune_finished_locked()
+        job._done.set()
+
+    # -- fleet (remote pull) dispatch --------------------------------------------
+
+    def claim(self, worker_id: str) -> Optional[Job]:
+        """Hand the next queued job to a fleet worker, under a lease.
+
+        Expired leases are reaped first, so a dead worker's job is
+        immediately claimable by the survivor doing the asking.  Returns
+        ``None`` when nothing is queued (or the queue is shut down).
+        """
+        self.reap_expired()
+        with self._lock:
+            if self._shutdown:
+                return None
+            job = None
+            while job is None:
+                try:
+                    candidate = self._queue.get_nowait()
+                except queue.Empty:
+                    return None
+                if candidate is None:
+                    # A local-thread shutdown sentinel (unreachable
+                    # before shutdown, but never swallow one).
+                    self._queue.put(None)
+                    return None
+                if candidate.status == QUEUED:
+                    job = candidate
+            job.status = RUNNING
+            job.worker = worker_id
+            job.attempts += 1
+            self.leases.grant(job.id, worker_id)
+            stats = self._fleet_stats_locked(worker_id)
+            stats["claims"] += 1
+            stats["last_seen"] = time.time()
+            self.metrics.count("fleet_claims")
+            self._ensure_reaper_locked()
+            return job
+
+    def heartbeat(self, worker_id: str, job_id: str) -> float:
+        """Renew ``worker_id``'s lease on ``job_id``; seconds left.
+
+        Raises :class:`KeyError` for an unknown job and
+        :class:`~repro.fleet.leases.LeaseLost` when the lease is gone —
+        the transport maps these to 404 / 409.
+        """
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(f"unknown job {job_id!r}")
+            stats = self._fleet_stats_locked(worker_id)
+            stats["last_seen"] = time.time()
+        remaining = self.leases.heartbeat(job_id, worker_id)
+        with self._lock:
+            self._fleet_stats_locked(worker_id)["heartbeats"] += 1
+        self.metrics.count("fleet_heartbeats")
+        return remaining
+
+    def complete(self, worker_id: str, job_id: str,
+                 envelope: Optional[Dict[str, Any]] = None,
+                 error: Optional[str] = None,
+                 wall_s: Optional[float] = None,
+                 tasks_executed: Optional[int] = None) -> Job:
+        """Accept a fleet worker's outcome for its leased job.
+
+        The lease must still be held: a worker that went dark long
+        enough to be reclaimed gets :class:`LeaseLost` (HTTP 409) and
+        its result is discarded — whoever holds the lease now completes
+        the job exactly once.  A successful envelope is persisted into
+        the shared result store and ledgered, so ``GET /results/<key>``
+        serves it from any node.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job.status in (DONE, FAILED):
+            raise LeaseLost(f"job {job_id} already completed")
+        self.leases.release(job_id, worker_id)
+        job.worker = worker_id
+        job.wall_s = wall_s
+        job.tasks_executed = tasks_executed
+        start = time.perf_counter()
+        if envelope is not None:
+            job.envelope = envelope
+            # Persist through the server's store handle — unless the
+            # worker's read-through session already landed the bytes
+            # there (shared filesystem), in which case a second put and
+            # a second ledger line would only duplicate its record.
+            if self._store is not None and self._store.peek(job.key) is None:
+                self._store.put(job.key, envelope)
+                self._store.record(job.key, job.experiment,
+                                   wall_s if wall_s is not None
+                                   else time.perf_counter() - start,
+                                   hit=False)
+            outcome = DONE
+        else:
+            job.error = error or "worker reported failure"
+            outcome = FAILED
+        with self._lock:
+            stats = self._fleet_stats_locked(worker_id)
+            stats["completions" if outcome == DONE else "failures"] += 1
+            stats["last_seen"] = time.time()
+        self.metrics.count("fleet_completions" if outcome == DONE
+                           else "fleet_failures")
+        self._finalize(job, outcome)
+        return job
+
+    def reap_expired(self) -> int:
+        """Requeue every job whose lease expired; the reclaim count."""
+        expired = self.leases.pop_expired()
+        if not expired:
+            return 0
+        reclaimed = 0
+        with self._lock:
+            for lease in expired:
+                job = self._jobs.get(lease.job_id)
+                if (job is None or job.status != RUNNING
+                        or job.worker != lease.worker):
+                    continue
+                job.status = QUEUED
+                job.worker = None
+                self._queue.put(job)
+                reclaimed += 1
+                stats = self._fleet_stats_locked(lease.worker)
+                stats["leases_lost"] += 1
+            if reclaimed:
+                self.metrics.count("leases_reclaimed", reclaimed)
+        return reclaimed
+
+    def _fleet_stats_locked(self, worker_id: str) -> Dict[str, Any]:
+        stats = self._fleet_workers.get(worker_id)
+        if stats is None:
+            stats = {"claims": 0, "heartbeats": 0, "completions": 0,
+                     "failures": 0, "leases_lost": 0, "last_seen": None}
+            self._fleet_workers[worker_id] = stats
+        return stats
+
+    def _ensure_reaper_locked(self) -> None:
+        """Start the dead-worker reaper on first fleet activity.
+
+        Lazy so a purely local queue keeps its historical thread count;
+        once any worker claims, expiry must be detected even if no
+        further requests ever arrive (a waiting ``POST /run`` client
+        must not hang on a lease nobody will reap).
+        """
+        if self._reaper is not None or self._shutdown:
+            return
+        interval = max(0.05, min(1.0, self.leases.ttl / 4))
+
+        def reap_loop() -> None:
+            while not self._reaper_stop.wait(interval):
+                self.reap_expired()
+
+        self._reaper = threading.Thread(target=reap_loop, daemon=True,
+                                        name="repro-fleet-reaper")
+        self._reaper.start()
 
     def _prune_finished_locked(self) -> None:
         terminal = [job_id for job_id, job in self._jobs.items()
@@ -229,8 +434,12 @@ class JobQueue:
             if self._shutdown:
                 return
             self._shutdown = True
+            reaper = self._reaper
+        self._reaper_stop.set()
         for _ in self._threads:
             self._queue.put(None)
         if wait:
             for thread in self._threads:
                 thread.join()
+            if reaper is not None:
+                reaper.join(timeout=5)

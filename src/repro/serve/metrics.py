@@ -38,6 +38,13 @@ class ServeMetrics:
         self.jobs_coalesced = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
+        #: Fleet protocol traffic (remote pull workers; see repro.fleet).
+        self.fleet_claims = 0
+        self.fleet_heartbeats = 0
+        self.fleet_completions = 0
+        self.fleet_failures = 0
+        #: Jobs requeued after their worker's lease expired unrenewed.
+        self.leases_reclaimed = 0
 
     def count_request(self, route: str, status: int) -> None:
         """Record one handled request under its route label."""
@@ -70,5 +77,12 @@ class ServeMetrics:
                     "coalesced": self.jobs_coalesced,
                     "completed": self.jobs_completed,
                     "failed": self.jobs_failed,
+                },
+                "fleet": {
+                    "claims": self.fleet_claims,
+                    "heartbeats": self.fleet_heartbeats,
+                    "completions": self.fleet_completions,
+                    "failures": self.fleet_failures,
+                    "leases_reclaimed": self.leases_reclaimed,
                 },
             }

@@ -134,3 +134,76 @@ class TestReadOnlyViews:
 
     def test_repr_names_the_endpoint(self, remote):
         assert remote.base_url in repr(remote)
+
+
+class TestTransientGetRetry:
+    """Idempotent GETs retry once on transient transport failures;
+    everything else (HTTP error responses, POSTs) surfaces immediately."""
+
+    def _flaky_urlopen(self, monkeypatch, fail_times, error_factory):
+        import urllib.request
+
+        real = urllib.request.urlopen
+        calls = []
+
+        def flaky(request, timeout=None):
+            calls.append(request.get_full_url())
+            if len(calls) <= fail_times:
+                raise error_factory()
+            return real(request, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        return calls
+
+    def test_get_retries_once_on_connection_error(self, remote,
+                                                  monkeypatch):
+        import urllib.error
+
+        calls = self._flaky_urlopen(
+            monkeypatch, 1,
+            lambda: urllib.error.URLError(ConnectionResetError("reset")))
+        metrics = remote.metrics()
+        assert "uptime_s" in metrics
+        assert len(calls) == 2              # failed once, retried once
+
+    def test_get_retries_once_on_timeout(self, remote, monkeypatch):
+        calls = self._flaky_urlopen(monkeypatch, 1,
+                                    lambda: TimeoutError("timed out"))
+        assert "validation" in remote.experiments()
+        assert len(calls) == 2
+
+    def test_get_gives_up_after_one_retry(self, remote, monkeypatch):
+        import urllib.error
+
+        calls = self._flaky_urlopen(
+            monkeypatch, 2,
+            lambda: urllib.error.URLError(ConnectionResetError("reset")))
+        with pytest.raises(urllib.error.URLError):
+            remote.metrics()
+        assert len(calls) == 2              # exactly one retry, no loop
+
+    def test_http_error_response_is_not_retried(self, remote,
+                                                monkeypatch):
+        import urllib.request
+
+        real = urllib.request.urlopen
+        calls = []
+
+        def counting(request, timeout=None):
+            calls.append(request.get_full_url())
+            return real(request, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", counting)
+        with pytest.raises(KeyError):
+            remote.result("0" * 64)         # 404: the server spoke
+        assert len(calls) == 1
+
+    def test_post_is_never_retried(self, remote, monkeypatch):
+        import urllib.error
+
+        calls = self._flaky_urlopen(
+            monkeypatch, 1,
+            lambda: urllib.error.URLError(ConnectionResetError("reset")))
+        with pytest.raises(urllib.error.URLError):
+            remote.run("validation", quick=True)
+        assert len(calls) == 1              # a POST may not be idempotent

@@ -158,8 +158,13 @@ class TestListAndErrors:
 
 class TestServeSubcommand:
     def test_bad_jobs_fails_before_binding(self, capsys):
-        assert main(["serve", "--jobs", "0"]) == 2
+        # 0 is legal now (fleet-only serving); negatives still are not.
+        assert main(["serve", "--jobs", "-1"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+    def test_bad_lease_ttl_fails_before_binding(self, capsys):
+        assert main(["serve", "--lease-ttl", "0"]) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
 
     def test_unbindable_port_fails_cleanly(self, capsys, tmp_path):
         import socket
@@ -175,6 +180,44 @@ class TestServeSubcommand:
             assert "cannot bind" in capsys.readouterr().err
         finally:
             blocker.close()
+
+    def test_port_zero_prints_bound_address_first(self, tmp_path):
+        """`serve --port 0` binds an ephemeral port and announces it as
+        the FIRST stderr line, machine-parseable — scripts (and the CI
+        fleet smoke) read the real port from there."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(pathlib.Path(__file__).parent.parent / "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(tmp_path / "store"), "--no-cache",
+             "--jobs", "1", "--quiet"],
+            env=env, stderr=subprocess.PIPE, text=True)
+        try:
+            first = process.stderr.readline()
+            match = re.match(
+                r"\[serve\] listening on http://127\.0\.0\.1:(\d+)\n",
+                first)
+            assert match, f"unexpected first stderr line: {first!r}"
+            port = int(match.group(1))
+            assert port != 0
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5) as r:
+                assert r.status == 200
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=15) == 130
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stderr.close()
 
     def test_sigint_shuts_down_cleanly_with_130(self, tmp_path):
         """The full-process contract: `kill -INT` on a running server

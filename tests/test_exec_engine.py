@@ -168,3 +168,81 @@ def test_explicit_session_overrides_current(tmp_path):
     assert results[0].shots_attempted == 15
     # The compile went through the dedicated session's cache.
     assert dedicated.cache.stats()["misses"] >= 1
+
+
+# -- the ExecBackend seam ----------------------------------------------------
+
+import os  # noqa: E402
+
+from repro.exec import (  # noqa: E402
+    ExecBackend,
+    InlineBackend,
+    SpawnPoolBackend,
+    resolve_backend,
+)
+from repro.exec.engine import INLINE  # noqa: E402
+
+
+def _pid_task(task):
+    return os.getpid()
+
+
+class TestBackendSeam:
+    def test_resolution_order(self):
+        """Explicit jobs > pinned session backend > session.jobs."""
+        pinned = SpawnPoolBackend(4)
+        session = Session(jobs=8, backend=pinned)
+        assert resolve_backend(session) is pinned
+        assert resolve_backend(session, jobs=1) is INLINE
+        explicit = resolve_backend(session, jobs=3)
+        assert isinstance(explicit, SpawnPoolBackend)
+        assert explicit.jobs == 3
+
+    def test_session_jobs_pick_the_default_backend(self):
+        assert resolve_backend(Session(jobs=1)) is INLINE
+        fanned = resolve_backend(Session(jobs=3))
+        assert isinstance(fanned, SpawnPoolBackend)
+        assert fanned.jobs is None  # inherits session.jobs at run time
+
+    def test_backend_names(self):
+        assert InlineBackend().name == "inline"
+        assert SpawnPoolBackend().name == "spawn-pool"
+        assert isinstance(INLINE, ExecBackend)
+
+    def test_backend_must_look_like_a_backend(self):
+        with pytest.raises(TypeError):
+            Session(backend=42)
+
+    def test_pinned_inline_backend_wins_over_jobs(self):
+        """A Session with jobs=4 but an InlineBackend pinned runs every
+        task in this process — the backend is the policy, not jobs."""
+        session = Session(jobs=4, backend=InlineBackend())
+        pids = engine.run_tasks(_pid_task, [0, 1, 2], session=session)
+        assert set(pids) == {os.getpid()}
+
+    def test_spawn_pool_backend_runs_out_of_process(self, tmp_path):
+        session = Session(jobs=1, cache_dir=str(tmp_path),
+                          backend=SpawnPoolBackend(2))
+        pids = engine.run_tasks(_pid_task, [0, 1, 2, 4], session=session)
+        assert os.getpid() not in pids
+
+    def test_spawn_pool_single_task_degrades_to_inline(self):
+        """A one-task sweep never pays spawn cost, whatever the pool."""
+        session = Session(jobs=1, backend=SpawnPoolBackend(8))
+        pids = engine.run_tasks(_pid_task, [0], session=session)
+        assert pids == [os.getpid()]
+
+    def test_pinned_spawn_backend_matches_inline_results(self, tmp_path):
+        """The seam contract: same bytes out of either backend."""
+        with Session(cache_dir=str(tmp_path)).activate():
+            specs = _tiny_specs()
+            inline = run_shot_specs(specs, jobs=1)
+        pooled_session = Session(cache_dir=str(tmp_path),
+                                 backend=SpawnPoolBackend(2))
+        with pooled_session.activate():
+            pooled = run_shot_specs(specs)
+        assert pooled == inline
+
+    def test_repr_names_pinned_backend(self):
+        session = Session(jobs=1, backend=SpawnPoolBackend(2))
+        assert "SpawnPoolBackend(jobs=2)" in repr(session)

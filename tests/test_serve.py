@@ -393,8 +393,9 @@ class TestJobQueueUnit:
             queue.submit("x", "k2", False, {})
 
     def test_worker_count_validated(self):
+        # workers=0 is legal (fleet-only dispatch); negatives are not.
         with pytest.raises(ValueError):
-            JobQueue(lambda: None, workers=0)
+            JobQueue(lambda: None, workers=-1)
 
     def test_raising_session_factory_fails_the_job_not_the_worker(self):
         calls = []
