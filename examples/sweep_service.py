@@ -1,0 +1,85 @@
+"""Sweep-as-a-service: one grid, three execution surfaces.
+
+Runs the same two-axis parameter sweep three ways and shows they are
+the same sweep — identical canonical cells, identical per-cell store
+keys, identical result envelopes:
+
+1. locally, with ``Session.run_sweep`` over a result store;
+2. replayed, demonstrating that every cell is read-through under its
+   own store key (zero recomputation);
+3. against an in-process ``repro.serve`` server with
+   ``RemoteSession.iter_sweep``, consuming the per-cell stream as the
+   server finalizes each cell — overlapping grids on the server share
+   in-flight cells, so the second, overlapping sweep submitted below
+   computes only its novel cell.
+
+Run:  python examples/sweep_service.py
+"""
+
+import tempfile
+import threading
+
+from repro.api import RemoteSession, Session, SweepSpec
+from repro.api.store import canonical_json
+from repro.serve import build_server
+
+
+def main() -> None:
+    spec = SweepSpec(
+        "ext-trapped-ion",
+        axes={"program_size": (10, 20), "na_mid": (2.0, 3.0)},
+        quick=True,
+    )
+    print(f"sweep: {spec!r}")
+    for cell in spec.cells():
+        print(f"  cell {cell.index}: {cell.params}  key={cell.key[:16]}…")
+
+    # 1. Local execution, read-through against a store.
+    store_dir = tempfile.mkdtemp(prefix="repro-sweep-store-")
+    local = Session(store_dir=store_dir)
+    result = local.run_sweep(spec)
+    print(f"\nlocal run: {len(result)} cells computed "
+          f"({local.misses} store misses)")
+
+    # 2. Replay: every cell keys into the envelope the first run stored.
+    replay = Session(store_dir=store_dir)
+    replayed = replay.run_sweep(spec)
+    assert canonical_json(replayed.to_dict()) == \
+        canonical_json(result.to_dict())
+    print(f"replay:    {replay.hits} hits, {replay.tasks_executed} tasks "
+          "executed — byte-identical envelope")
+
+    # 3. The same spec against a serving endpoint, streamed per cell.
+    with tempfile.TemporaryDirectory() as served_store:
+        server = build_server("127.0.0.1", 0, served_store,
+                              workers=2, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            remote = RemoteSession(f"http://127.0.0.1:{server.port}")
+            print(f"\nserver on port {server.port}; streaming cells:")
+            for cell, cell_result in remote.iter_sweep(spec):
+                print(f"  <- cell {cell.index} {cell.params} "
+                      f"({type(cell_result).__name__})")
+
+            # An overlapping grid: one of its two cells already lives
+            # in the server's store from the sweep above — only the
+            # novel program_size=30 cell computes.
+            overlap = SweepSpec("ext-trapped-ion",
+                                axes={"program_size": (20, 30)},
+                                base={"na_mid": 3.0}, quick=True)
+            remote.hits = remote.misses = 0
+            remote.run_sweep(overlap)
+            print(f"overlapping sweep: {remote.hits} cell(s) straight "
+                  f"from the store, {remote.misses} computed")
+
+            sweeps = remote.metrics()["sweeps"]
+            print(f"server sweep counters: {sweeps}")
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+
+
+if __name__ == "__main__":
+    main()

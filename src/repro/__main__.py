@@ -8,6 +8,8 @@ Usage::
     python -m repro run all --quick --jobs 4 --cache-dir /tmp/repro-cache
     python -m repro run fig3 --quick --format json --out fig3.json
     python -m repro run fig3 --quick --store /tmp/repro-store
+    python -m repro sweep ext-trapped-ion --quick --axis program_size=10,20
+    python -m repro sweep fig3 --axis mids=2,4 --server http://host:8000
     python -m repro cache stats
     python -m repro cache prune --max-size 256
     python -m repro store ls
@@ -40,6 +42,18 @@ read-through against a persistent result store (``--force`` recomputes
 and refreshes the stored entry).  Figure output goes to stdout and
 timing diagnostics to stderr, so redirected output is byte-comparable
 between runs sharing a warm cache — or replayed from the store.
+
+``sweep`` runs a parameter grid as one :class:`repro.api.SweepSpec`:
+each ``--axis name=v1,v2,...`` contributes one grid dimension, ``--set
+name=value`` fixes a parameter across every cell, and the grid expands
+canonically (axes sorted by name, cartesian product).  Per-cell
+progress goes to stderr as cells complete; stdout carries the final
+:class:`~repro.api.SweepResult` (``--format json`` emits its
+schema-versioned envelope, whose per-cell ``result`` entries are
+byte-identical to the equivalent ``run --format json``).  With
+``--server URL`` the grid is submitted to a serving endpoint instead —
+the server dedups cells against its store and in-flight jobs, and the
+CLI consumes the streamed results as they finalize.
 
 ``serve`` starts the HTTP serving layer (:mod:`repro.serve`) over a
 result store: cached results are answered from disk, misses run on a
@@ -181,6 +195,105 @@ def _cmd_run(args) -> int:
         print(f"cannot write {args.out}: {error}", file=sys.stderr)
         return 2
     _print_cache_stats(session, stats_before)
+    return 0
+
+
+def _parse_sweep_value(text: str):
+    """One axis/override value: a Python literal when it parses as one
+    (numbers, tuples, None, quoted strings), the raw string otherwise —
+    so ``mids=2,4`` sweeps ints while ``name=foo`` stays a string."""
+    import ast
+
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_axis(text: str):
+    name, sep, values = text.partition("=")
+    if not sep or not name or not values:
+        raise ValueError(
+            f"--axis expects NAME=V1,V2,... got {text!r}")
+    return name, tuple(_parse_sweep_value(value)
+                       for value in values.split(","))
+
+
+def _parse_override(text: str):
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise ValueError(f"--set expects NAME=VALUE, got {text!r}")
+    return name, _parse_sweep_value(value)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.api import RemoteRunError, RemoteSession, SweepSpec
+
+    try:
+        axes = dict(_parse_axis(axis) for axis in args.axis or [])
+        base = dict(_parse_override(item) for item in args.set or [])
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        spec = SweepSpec(args.experiment, axes=axes, base=base,
+                         quick=args.quick)
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(sorted(all_experiments()))}",
+              file=sys.stderr)
+        return 2
+    except (TypeError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.server is not None:
+        session = RemoteSession(args.server)
+    else:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        session = Session(
+            jobs=args.jobs,
+            cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
+            store_dir=args.store,
+        )
+    hits_before = session.hits
+    start = time.perf_counter()
+    pairs = []
+    try:
+        # Local or remote, the SessionProtocol surface is the same:
+        # iterate cells as they complete, diagnostics to stderr only.
+        for cell, result in session.iter_sweep(spec, force=args.force):
+            pairs.append((cell, result))
+            params = ", ".join(f"{name}={value!r}"
+                               for name, value in cell.params.items())
+            print(f"[cell {len(pairs)}/{len(spec)} "
+                  f"{spec.experiment}[{params}] done]", file=sys.stderr)
+    except RemoteRunError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
+    pairs.sort(key=lambda pair: pair[0].index)
+    from repro.api import SweepResult
+
+    sweep_result = SweepResult(
+        experiment=spec.experiment, quick=spec.quick,
+        cells=tuple(cell for cell, _ in pairs),
+        results=tuple(result for _, result in pairs),
+    )
+    replayed = session.hits - hits_before
+    print(f"[sweep {spec.experiment}: {len(spec)} cell(s) in "
+          f"{time.perf_counter() - start:.1f}s — {replayed} replayed, "
+          f"{len(spec) - replayed} computed"
+          f"{' (quick parameters)' if args.quick else ''}]",
+          file=sys.stderr)
+    payload = (canonical_json(sweep_result.to_dict())
+               if args.format == "json" else sweep_result.format())
+    try:
+        _emit(payload, args.out)
+    except OSError as error:
+        print(f"cannot write {args.out}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -350,7 +463,8 @@ def _cmd_serve(args) -> int:
           f"{args.jobs} local job worker(s)"
           f"{' (fleet workers only)' if args.jobs == 0 else ''}; "
           "endpoints: /experiments /results/<key> /run /jobs/<id> "
-          "/metrics /healthz /fleet/claim|heartbeat|complete; "
+          "/sweeps[/<id>[/stream]] /metrics /healthz "
+          "/fleet/claim|heartbeat|complete; "
           "stop with Ctrl-C]", file=sys.stderr)
     try:
         server.serve_forever()
@@ -475,6 +589,65 @@ def main(argv=None) -> int:
         "--force", action="store_true",
         help="with --store: recompute even on a store hit and refresh "
              "the stored entry",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter grid over one experiment")
+    sweep_parser.add_argument(
+        "experiment", help="an experiment name (see 'list')",
+    )
+    sweep_parser.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2,...",
+        help="one grid dimension: a parameter name and its comma-"
+             "separated values (repeatable; values parse as Python "
+             "literals, falling back to strings)",
+    )
+    sweep_parser.add_argument(
+        "--set", action="append", metavar="NAME=VALUE",
+        help="fix a parameter to one value across every cell "
+             "(repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--quick", action="store_true",
+        help="apply the experiment's reduced-parameter preset under "
+             "the grid",
+    )
+    sweep_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text: per-cell figure text under cell headers (default); "
+             "json: the schema-versioned SweepResult envelope",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the sweep payload to FILE instead of stdout",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for each cell's task grid (local runs "
+             "only; default 1)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent compile-cache directory (default: "
+             "$REPRO_CACHE_DIR, else ~/.cache/repro/compile)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk compile cache (memory-only)",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store: cells replay from stored "
+             "envelopes and fresh cells persist (local runs only)",
+    )
+    sweep_parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="submit the sweep to a running `repro serve` endpoint and "
+             "stream per-cell results instead of executing locally",
+    )
+    sweep_parser.add_argument(
+        "--force", action="store_true",
+        help="recompute every cell even when a stored result exists",
     )
 
     cache_parser = subparsers.add_parser(
@@ -633,6 +806,8 @@ def main(argv=None) -> int:
             return _cmd_list()
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "serve":

@@ -14,11 +14,20 @@ anything that embeds it — the CLI, services, notebooks:
 * :class:`ResultStore` / :func:`store_key` — the persistent
   content-addressed store of result envelopes behind read-through
   ``Session(store_dir=...).run``;
-* :class:`RemoteSession` — the same ``run()`` surface backed by a
-  ``python -m repro serve`` endpoint instead of local execution.
+* :class:`SweepSpec` / :class:`SweepResult` — first-class parameter
+  sweeps: a validated grid that expands canonically into per-cell store
+  keys, run via ``Session.run_sweep`` / ``iter_sweep`` (or streamed
+  from a server through :class:`RemoteSession`);
+* :class:`RemoteSession` — the same ``run()``/``run_sweep()`` surface
+  backed by a ``python -m repro serve`` endpoint instead of local
+  execution — both satisfy :class:`SessionProtocol`.
+
+``__all__`` below is the supported surface; anything underscored or
+absent from it is internal and may change without notice.
 """
 
 from repro.api.client import RemoteRunError, RemoteSession
+from repro.api.protocol import SessionProtocol
 from repro.api.registry import (
     ExperimentSpec,
     ParamSpec,
@@ -39,10 +48,19 @@ from repro.api.session import (
     install_default,
 )
 from repro.api.store import ResultStore, store_key
+from repro.api.sweep import (
+    SWEEP_SCHEMA,
+    SWEEP_SCHEMA_VERSION,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+)
 
 __all__ = [
     "RESULT_SCHEMA",
     "RESULT_SCHEMA_VERSION",
+    "SWEEP_SCHEMA",
+    "SWEEP_SCHEMA_VERSION",
     "ExperimentResult",
     "ExperimentSpec",
     "ParamSpec",
@@ -50,6 +68,10 @@ __all__ = [
     "RemoteSession",
     "ResultStore",
     "Session",
+    "SessionProtocol",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
     "all_experiments",
     "current_session",
     "default_session",

@@ -13,6 +13,18 @@ for a remote one without changing shape:
     result = session.run("fig10", quick=True)
     print(result.format())          # same object contract as Session.run
 
+Sweeps speak the same protocol at cell granularity:
+:meth:`RemoteSession.iter_sweep` POSTs the
+:class:`~repro.api.sweep.SweepSpec` to ``/sweeps`` (the server expands
+it, short-circuits stored cells, and dedups in-flight ones) and then
+consumes ``GET /sweeps/<id>/stream`` incrementally — each ``(cell,
+result)`` pair is yielded the moment the server finalizes that cell,
+not when the whole grid finishes.  :meth:`RemoteSession.run_sweep`
+drains the same stream into the canonically-ordered
+:class:`~repro.api.sweep.SweepResult` a local ``Session.run_sweep``
+returns.  Together with ``run`` this satisfies
+:class:`repro.api.protocol.SessionProtocol`.
+
 Server-side errors map back onto the exceptions the local session would
 raise: an unknown experiment is a ``KeyError``, a bad parameter is a
 ``TypeError``/``ValueError`` (transported as HTTP 4xx), and a failed
@@ -26,9 +38,10 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.api.results import ExperimentResult
+from repro.api.sweep import SweepCell, SweepResult, SweepSpec
 
 #: Seconds to back off before the single idempotent-GET retry.
 RETRY_BACKOFF_S = 0.2
@@ -36,6 +49,18 @@ RETRY_BACKOFF_S = 0.2
 
 class RemoteRunError(RuntimeError):
     """A run failed on the server (the transported job error)."""
+
+
+def _raise_mapped(error: urllib.error.HTTPError) -> None:
+    """Re-raise a server error as the local exception it stands for."""
+    message, error_type = _decode_error(error)
+    if error.code == 404:
+        raise KeyError(message) from None
+    if error.code == 400:
+        if error_type == "TypeError":
+            raise TypeError(message) from None
+        raise ValueError(message) from None
+    raise RemoteRunError(message) from None
 
 
 def _decode_error(error: urllib.error.HTTPError) -> tuple:
@@ -116,19 +141,86 @@ class RemoteSession:
                 "wait": True,
             })
         except urllib.error.HTTPError as error:
-            message, error_type = _decode_error(error)
-            if error.code == 404:
-                raise KeyError(message) from None
-            if error.code == 400:
-                if error_type == "TypeError":
-                    raise TypeError(message) from None
-                raise ValueError(message) from None
-            raise RemoteRunError(message) from None
+            _raise_mapped(error)
         if response.headers.get("X-Repro-Store") == "hit":
             self.hits += 1
         else:
             self.misses += 1
         return ExperimentResult.from_dict(envelope)
+
+    def iter_sweep(
+        self, spec: SweepSpec, force: bool = False,
+    ) -> Iterator[Tuple[SweepCell, ExperimentResult]]:
+        """Run ``spec`` on the server, yielding ``(cell, result)`` pairs
+        **in completion order** as the server's stream delivers them.
+
+        The server expands the same canonical grid this client holds,
+        so stream records are matched to local cells by index (and
+        cross-checked by store key).  Cells the server answers from its
+        result store count as :attr:`hits`; computed cells as
+        :attr:`misses`.  A failed cell raises :class:`RemoteRunError`
+        when its record arrives; the spec's own validation errors
+        (``KeyError``/``TypeError``/``ValueError``) surface from the
+        submission request exactly like :meth:`run`.
+        """
+        try:
+            _, description = self._request("POST", "/sweeps",
+                                           {**spec.to_dict(),
+                                            "force": bool(force)})
+        except urllib.error.HTTPError as error:
+            _raise_mapped(error)
+        cells = spec.cells()
+        stream_path = (description.get("stream_url")
+                       or f"/sweeps/{description['id']}/stream")
+        request = urllib.request.Request(
+            self.base_url + stream_path, method="GET",
+        )
+        try:
+            response = urllib.request.urlopen(request,
+                                              timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            _raise_mapped(error)
+        with response:
+            # http.client de-chunks transparently; iterating the
+            # response yields the stream's JSON lines as they arrive.
+            for raw in response:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                record = json.loads(raw)
+                if "sweep" in record:
+                    return  # the terminal summary line
+                cell = cells[record["index"]]
+                if record.get("key") != cell.key:
+                    raise RemoteRunError(
+                        f"server cell {record['index']} key "
+                        f"{record.get('key')!r} does not match the "
+                        f"local expansion ({cell.key!r}); client and "
+                        "server disagree about the registry"
+                    )
+                if record.get("status") == "failed":
+                    raise RemoteRunError(
+                        f"sweep cell {cell.index} {dict(cell.params)!r} "
+                        f"failed: {record.get('error')}"
+                    )
+                if record.get("source") == "store":
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                yield cell, ExperimentResult.from_dict(record["envelope"])
+
+    def run_sweep(self, spec: SweepSpec,
+                  force: bool = False) -> SweepResult:
+        """Run every cell of ``spec`` on the server; the canonically
+        ordered :class:`~repro.api.sweep.SweepResult` — the same object
+        a local ``Session.run_sweep`` returns."""
+        pairs = list(self.iter_sweep(spec, force=force))
+        pairs.sort(key=lambda pair: pair[0].index)
+        return SweepResult(
+            experiment=spec.experiment, quick=spec.quick,
+            cells=tuple(cell for cell, _ in pairs),
+            results=tuple(result for _, result in pairs),
+        )
 
     def submit(self, experiment: str, quick: bool = False,
                force: bool = False, **params) -> Dict[str, Any]:
@@ -162,6 +254,16 @@ class RemoteSession:
     def job(self, job_id: str) -> Dict[str, Any]:
         try:
             return self._get(f"/jobs/{job_id}")
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                raise KeyError(_decode_error(error)[0]) from None
+            raise
+
+    def sweep(self, sweep_id: str) -> Dict[str, Any]:
+        """Per-cell status of a submitted sweep (``KeyError`` if the
+        server no longer tracks it)."""
+        try:
+            return self._get(f"/sweeps/{sweep_id}")
         except urllib.error.HTTPError as error:
             if error.code == 404:
                 raise KeyError(_decode_error(error)[0]) from None

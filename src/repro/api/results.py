@@ -102,12 +102,12 @@ class ExperimentResult:
                 f"known: {', '.join(sorted(known_experiments))}"
             )
         result_type = payload.get("result_type")
-        from repro.api.serialize import registered_types
+        from repro.api.serialize import _registered_types
 
-        if result_type not in registered_types():
+        if result_type not in _registered_types():
             raise ValueError(
                 f"payload names unknown result type {result_type!r}; "
-                f"known: {', '.join(sorted(registered_types()))}"
+                f"known: {', '.join(sorted(_registered_types()))}"
             )
         if "data" not in payload:
             raise ValueError(

@@ -53,7 +53,8 @@ def serializable(cls: Type) -> Type:
     return cls
 
 
-def registered_types() -> Dict[str, Type]:
+def _registered_types() -> Dict[str, Type]:
+    """Internal registry view (decode error messages, results.py)."""
     return dict(_REGISTRY)
 
 

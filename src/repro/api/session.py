@@ -186,7 +186,52 @@ class Session:
         )
         return result
 
+    # -- sweeps ------------------------------------------------------------------------
+
+    def iter_sweep(self, spec, force: bool = False):
+        """Run a :class:`~repro.api.sweep.SweepSpec` cell by cell,
+        yielding ``(cell, result)`` as each completes.
+
+        Every cell goes through :meth:`run`, so cells inherit this
+        session's full policy — task grids fan out over the session's
+        backend/jobs, and with a configured store each cell is
+        **read-through** under its own cell key (a previously stored
+        cell replays with zero tasks executed; ``force=True`` recomputes
+        every cell).
+        """
+        for cell in spec.cells():
+            result = self.run(spec.experiment, quick=spec.quick,
+                              force=force, **dict(cell.params))
+            yield cell, result
+
+    def run_sweep(self, spec, force: bool = False):
+        """Run every cell of ``spec``; the aligned
+        :class:`~repro.api.sweep.SweepResult` envelope."""
+        from repro.api.sweep import SweepResult
+
+        cells = []
+        results = []
+        for cell, result in self.iter_sweep(spec, force=force):
+            cells.append(cell)
+            results.append(result)
+        return SweepResult(experiment=spec.experiment, quick=spec.quick,
+                           cells=tuple(cells), results=tuple(results))
+
     # -- introspection -----------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Replay count of this session's result store (zero without
+        one).  Note the counters live on the store object: sessions
+        sharing one store — the serving layer's per-job sessions —
+        share the counts."""
+        return self.store.hits if self.store is not None else 0
+
+    @property
+    def misses(self) -> int:
+        """Miss (fresh execution) count of this session's result store
+        (zero without one); see :attr:`hits` for the sharing caveat."""
+        return self.store.misses if self.store is not None else 0
 
     def cache_stats(self) -> dict:
         """This session's compile-cache counters (per-run, not global)."""

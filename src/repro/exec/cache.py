@@ -215,16 +215,19 @@ def get_cache() -> CompileCache:
 
 
 def set_cache_dir(path: Optional[str]) -> CompileCache:
-    """Deprecated: repoint the *default session's* cache at ``path``.
+    """Deprecated, slated for removal: repoint the *default session's*
+    cache at ``path``.
 
     Prefer ``Session(cache_dir=...)``.  Always starts from an empty
-    memory tier, mirroring the historical behavior.
+    memory tier, mirroring the historical behavior.  This shim is not
+    part of the supported ``repro.api.__all__`` surface and will be
+    removed in a future release.
     """
     from repro.api.session import default_session
 
     warnings.warn(
-        "repro.exec.cache.set_cache_dir is deprecated; configure a "
-        "repro.api.Session instead",
+        "repro.exec.cache.set_cache_dir is deprecated and will be "
+        "removed; configure a repro.api.Session instead",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -234,9 +237,11 @@ def set_cache_dir(path: Optional[str]) -> CompileCache:
 
 
 def swap_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
-    """Deprecated: install ``cache`` on the *default session*, returning
-    the previous cache object (warm tier and stats intact).  Prefer
-    activating a dedicated ``Session``.
+    """Deprecated, slated for removal: install ``cache`` on the
+    *default session*, returning the previous cache object (warm tier
+    and stats intact).  Prefer activating a dedicated ``Session``; like
+    the other legacy shims this is outside ``repro.api.__all__`` and
+    will be removed in a future release.
 
     ``swap_cache(None)`` restores the historical "uninitialized" state:
     a fresh cache rebuilt from ``REPRO_CACHE_DIR`` — it does NOT disable
@@ -245,8 +250,8 @@ def swap_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
     from repro.api.session import default_session
 
     warnings.warn(
-        "repro.exec.cache.swap_cache is deprecated; activate a "
-        "repro.api.Session instead",
+        "repro.exec.cache.swap_cache is deprecated and will be removed; "
+        "activate a repro.api.Session instead",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -45,16 +45,19 @@ from typing import Callable, Iterable, List, Optional
 
 
 def set_jobs(jobs: int) -> None:
-    """Deprecated: set the *default session's* worker count.
+    """Deprecated, slated for removal: set the *default session's*
+    worker count.
 
     Prefer constructing a :class:`repro.api.Session` (or using
-    :func:`sweep_settings`) instead of mutating process state.
+    :func:`sweep_settings`) instead of mutating process state.  This
+    shim is not part of the supported ``repro.api.__all__`` surface and
+    will be removed in a future release.
     """
     from repro.api.session import default_session
 
     warnings.warn(
-        "repro.exec.engine.set_jobs is deprecated; configure a "
-        "repro.api.Session instead",
+        "repro.exec.engine.set_jobs is deprecated and will be removed; "
+        "configure a repro.api.Session instead",
         DeprecationWarning,
         stacklevel=2,
     )

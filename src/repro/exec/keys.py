@@ -156,6 +156,11 @@ def task_grid(**axes: Iterable) -> List[Dict]:
     ``task_grid(mid=(2.0, 3.0), strategy=("a", "b"))`` yields four dicts
     in deterministic row-major order (last axis fastest), ready to fan
     out over the sweep engine.
+
+    This ordering is a public contract: :class:`repro.api.SweepSpec`
+    expands its (name-sorted) axes through this exact function, so a
+    sweep's canonical cell order — relied on by the result stream and
+    by client/server expansion agreement — is this row-major order.
     """
     names = list(axes)
     tasks: List[Dict] = [{}]

@@ -12,6 +12,11 @@ Layering (each importable and testable on its own):
 * :mod:`repro.serve.metrics` — thread-safe counters behind ``/metrics``;
 * :mod:`repro.serve.jobs` — the job queue: worker threads, lifecycle,
   dedup, per-job :class:`~repro.api.Session` isolation;
+* :mod:`repro.serve.sweeps` — server-side sweep tracking: a
+  ``POST /sweeps`` expands a :class:`~repro.api.sweep.SweepSpec` into
+  one queue job per cell (store hits short-circuit; overlapping grids
+  share in-flight cells), and ``GET /sweeps/<id>/stream`` delivers each
+  cell's envelope the moment it finalizes as line-delimited JSON;
 * :mod:`repro.serve.app` — transport-free request routing;
 * :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` shell and
   :func:`build_server`, which wires the whole stack.
@@ -31,6 +36,7 @@ from repro.serve.app import Response, ServeApp
 from repro.serve.http import ReproHTTPServer, build_server
 from repro.serve.jobs import Job, JobQueue
 from repro.serve.metrics import ServeMetrics
+from repro.serve.sweeps import SweepRecord, SweepTable
 
 __all__ = [
     "Job",
@@ -39,5 +45,7 @@ __all__ = [
     "Response",
     "ServeApp",
     "ServeMetrics",
+    "SweepRecord",
+    "SweepTable",
     "build_server",
 ]

@@ -17,6 +17,12 @@ Endpoints::
                              directly, queue a miss ({"wait": true}
                              blocks for the result bytes)
     GET  /jobs/<id>          job lifecycle/status
+    POST /sweeps             expand a SweepSpec server-side; one job per
+                             cell (store hits short-circuit, misses ride
+                             the queue's in-flight dedup)
+    GET  /sweeps/<id>        per-cell sweep status/progress
+    GET  /sweeps/<id>/stream line-delimited JSON: each cell's envelope
+                             the moment it finalizes, then a summary
     GET  /metrics            counters + queue + fleet state + recent
                              ledger tail
     POST /fleet/claim        a fleet worker pulls the next queued job
@@ -38,10 +44,11 @@ import json
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.api.registry import ExperimentSpec, all_experiments
 from repro.api.store import ResultStore, canonical_json, store_key
+from repro.api.sweep import SweepSpec
 from repro.fleet.leases import LeaseLost
 from repro.fleet.protocol import (
     CLAIM_PATH,
@@ -53,6 +60,7 @@ from repro.fleet.protocol import (
 )
 from repro.serve.jobs import FAILED, JobQueue
 from repro.serve.metrics import ServeMetrics
+from repro.serve.sweeps import SweepTable
 
 #: A full store key: SHA-256 hex.  Anything else in /results/<key> is
 #: rejected before it can reach the filesystem layer.
@@ -64,11 +72,18 @@ RECENT_WINDOW = 100
 
 @dataclass
 class Response:
-    """One routed response: status, JSON body bytes, extra headers."""
+    """One routed response: status, JSON body bytes, extra headers.
+
+    When ``stream`` is set the response is an incremental body instead:
+    the transport sends each yielded bytes chunk as it arrives (chunked
+    transfer-encoding over HTTP) and ``body`` is ignored.  Streams carry
+    line-delimited JSON, one complete JSON object per line.
+    """
 
     status: int
     body: bytes
     headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[Iterator[bytes]] = None
 
 
 def _json_response(status: int, payload: Any,
@@ -120,10 +135,13 @@ class ServeApp:
     """The serving layer's router over one store + one job queue."""
 
     def __init__(self, store: ResultStore, jobs: JobQueue,
-                 metrics: Optional[ServeMetrics] = None):
+                 metrics: Optional[ServeMetrics] = None,
+                 sweeps: Optional[SweepTable] = None):
         self.store = store
         self.jobs = jobs
         self.metrics = metrics if metrics is not None else jobs.metrics
+        self.sweeps = (sweeps if sweeps is not None
+                       else SweepTable(store, jobs, self.metrics))
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -150,6 +168,14 @@ class ServeApp:
                 return "POST /run", self._run(body)
             if path.startswith("/jobs/") and method == "GET":
                 return "GET /jobs/<id>", self._job(path[len("/jobs/"):])
+            if path == "/sweeps" and method == "POST":
+                return "POST /sweeps", self._sweep_submit(body)
+            if path.startswith("/sweeps/") and method == "GET":
+                rest = path[len("/sweeps/"):]
+                if rest.endswith("/stream"):
+                    return ("GET /sweeps/<id>/stream",
+                            self._sweep_stream(rest[:-len("/stream")]))
+                return "GET /sweeps/<id>", self._sweep_status(rest)
             if path == "/metrics" and method == "GET":
                 return "GET /metrics", self._metrics()
             if path == CLAIM_PATH and method == "POST":
@@ -258,12 +284,65 @@ class ServeApp:
             return _error(404, f"unknown job {job_id!r}")
         return _json_response(200, job.describe())
 
+    # -- sweeps ------------------------------------------------------------------
+
+    def _sweep_submit(self, body: bytes) -> Response:
+        try:
+            request = json.loads(body or b"{}")
+        except ValueError:
+            return _error(400, "request body must be JSON")
+        if not isinstance(request, dict):
+            return _error(400, "request body must be a JSON object")
+        experiment = request.get("experiment")
+        if not isinstance(experiment, str):
+            return _error(400, 'request needs an "experiment" name')
+        if all_experiments().get(experiment) is None:
+            # 404 before spec validation, matching POST /run's split
+            # between "no such experiment" and "bad parameters".
+            return _error(404, f"unknown experiment {experiment!r}")
+        force = bool(request.get("force", False))
+        try:
+            spec = SweepSpec.from_dict(request)
+        except (TypeError, ValueError) as error:
+            return _error(400, str(error), type(error).__name__)
+        record = self.sweeps.submit(spec, force=force)
+        return _json_response(202, record.describe(),
+                              {"X-Repro-Sweep": record.id})
+
+    def _sweep_status(self, sweep_id: str) -> Response:
+        record = self.sweeps.get(sweep_id)
+        if record is None:
+            return _error(404, f"unknown sweep {sweep_id!r}")
+        return _json_response(200, record.describe(),
+                              {"X-Repro-Sweep": record.id})
+
+    def _sweep_stream(self, sweep_id: str) -> Response:
+        record = self.sweeps.get(sweep_id)
+        if record is None:
+            return _error(404, f"unknown sweep {sweep_id!r}")
+        self.metrics.count("sweep_streams")
+
+        def lines() -> Iterator[bytes]:
+            # One compact JSON object per line.  Each cell record's
+            # "envelope" value re-renders byte-identically through
+            # canonical_json — the stream embeds objects, not bytes, so
+            # line framing and envelope canonical form never fight.
+            for event in record.events():
+                yield json.dumps(event, sort_keys=True,
+                                 separators=(",", ":")).encode() + b"\n"
+            yield json.dumps(record.summary(), sort_keys=True,
+                             separators=(",", ":")).encode() + b"\n"
+
+        return Response(200, b"", {"X-Repro-Sweep": record.id},
+                        stream=lines())
+
     def _metrics(self) -> Response:
         recent = self.store.tail(RECENT_WINDOW)
         hits = sum(1 for entry in recent if entry.get("hit"))
         return _json_response(200, {
             **self.metrics.snapshot(),
             "queue": self.jobs.describe(),
+            "sweep_table": self.sweeps.describe(),
             "fleet_workers": self.jobs.describe_fleet(),
             "store_dir": self.store.path,
             "recent_runs": {

@@ -31,6 +31,7 @@ from repro.fleet.protocol import DEFAULT_LEASE_TTL
 from repro.serve.app import ServeApp
 from repro.serve.jobs import JobQueue
 from repro.serve.metrics import ServeMetrics
+from repro.serve.sweeps import SweepTable
 
 
 class ReproRequestHandler(BaseHTTPRequestHandler):
@@ -46,6 +47,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             length = 0
         body = self.rfile.read(length) if length > 0 else b""
         response = self.server.app.handle(self.command, self.path, body)
+        if response.stream is not None:
+            self._stream(response)
+            return
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(response.body)))
@@ -53,6 +57,38 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
+
+    def _stream(self, response) -> None:
+        """Write a streaming response with chunked transfer-encoding,
+        flushing per chunk so consumers see each line the moment the
+        app yields it.
+
+        A dropped client (BrokenPipe/ConnectionReset) just ends the
+        stream: the generator is closed and the connection discarded —
+        the underlying jobs are queue-owned, so nothing leaks.
+        """
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            for chunk in response.stream:
+                if not chunk:
+                    continue
+                self.wfile.write(f"{len(chunk):x}\r\n".encode())
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self.close_connection = True
+        finally:
+            close = getattr(response.stream, "close", None)
+            if close is not None:
+                close()
 
     do_GET = _dispatch
     do_POST = _dispatch
@@ -114,5 +150,6 @@ def build_server(
         store=store,
         lease_ttl=lease_ttl,
     )
-    app = ServeApp(store=store, jobs=jobs, metrics=metrics)
+    sweeps = SweepTable(store, jobs, metrics)
+    app = ServeApp(store=store, jobs=jobs, metrics=metrics, sweeps=sweeps)
     return ReproHTTPServer((host, port), app, quiet=quiet)

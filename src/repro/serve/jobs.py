@@ -80,6 +80,9 @@ class Job:
     created_at: float = field(default_factory=time.time)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
+    #: Callables invoked exactly once when the job reaches a terminal
+    #: state (see :meth:`JobQueue.on_done`); sweeps subscribe here.
+    _callbacks: list = field(default_factory=list, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; ``True`` unless timed out."""
@@ -259,7 +262,30 @@ class JobQueue:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
             self._prune_finished_locked()
+            callbacks = job._callbacks[:]
+            job._callbacks.clear()
+        # Outside the lock: a subscriber may re-enter queue methods.
+        for callback in callbacks:
+            try:
+                callback(job)
+            except Exception:  # a bad subscriber must not wedge the queue
+                pass
         job._done.set()
+
+    def on_done(self, job: Job, callback: Callable[[Job], None]) -> None:
+        """Invoke ``callback(job)`` exactly once when ``job`` finishes.
+
+        Registration races the terminal transition safely: a job that is
+        already terminal fires the callback immediately (on the caller's
+        thread), otherwise :meth:`_finalize` fires it — never both,
+        because the pending-callback list is drained under the queue
+        lock and status flips terminal before that drain.
+        """
+        with self._lock:
+            if job.status not in (DONE, FAILED):
+                job._callbacks.append(callback)
+                return
+        callback(job)
 
     # -- fleet (remote pull) dispatch --------------------------------------------
 

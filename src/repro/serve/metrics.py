@@ -38,6 +38,18 @@ class ServeMetrics:
         self.jobs_coalesced = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
+        #: Sweep traffic (POST /sweeps and its per-cell fan-out).
+        self.sweeps_submitted = 0
+        self.sweep_cells_total = 0
+        #: Cells answered straight from the store at submission time.
+        self.sweep_cells_hit = 0
+        #: Cells that became (or attached to) queue jobs.
+        self.sweep_cells_queued = 0
+        #: Cells that attached to an already-in-flight job — the
+        #: overlapping-sweeps dedup the tests and CI gate assert on.
+        self.sweep_cells_coalesced = 0
+        #: GET /sweeps/<id>/stream consumers started.
+        self.sweep_streams = 0
         #: Fleet protocol traffic (remote pull workers; see repro.fleet).
         self.fleet_claims = 0
         self.fleet_heartbeats = 0
@@ -77,6 +89,14 @@ class ServeMetrics:
                     "coalesced": self.jobs_coalesced,
                     "completed": self.jobs_completed,
                     "failed": self.jobs_failed,
+                },
+                "sweeps": {
+                    "submitted": self.sweeps_submitted,
+                    "cells_total": self.sweep_cells_total,
+                    "cells_hit": self.sweep_cells_hit,
+                    "cells_queued": self.sweep_cells_queued,
+                    "cells_coalesced": self.sweep_cells_coalesced,
+                    "streams": self.sweep_streams,
                 },
                 "fleet": {
                     "claims": self.fleet_claims,
