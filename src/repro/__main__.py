@@ -10,6 +10,11 @@ Usage::
     python -m repro run fig3 --quick --store /tmp/repro-store
     python -m repro sweep ext-trapped-ion --quick --axis program_size=10,20
     python -m repro sweep fig3 --axis mids=2,4 --server http://host:8000
+    python -m repro run workload-metrics --circuit prog.qasm --quick
+    python -m repro circuits add prog.qasm
+    python -m repro circuits add prog.qasm --server http://host:8000
+    python -m repro circuits ls
+    python -m repro circuits show DIGEST
     python -m repro cache stats
     python -m repro cache prune --max-size 256
     python -m repro store ls
@@ -55,6 +60,14 @@ byte-identical to the equivalent ``run --format json``).  With
 the server dedups cells against its store and in-flight jobs, and the
 CLI consumes the streamed results as they finalize.
 
+``circuits`` manages the content-addressed circuit store: ``add``
+ingests an OpenQASM 2.0 file (locally, or — with ``--server`` — into a
+serving endpoint via ``POST /circuits``) and prints its digest; ``ls``
+and ``show`` inspect stored programs.  ``run EXP --circuit FILE`` is the
+one-step spelling: the file is ingested and its ``circuit:<digest>``
+reference is injected as the experiment's circuit parameter (the
+experiment must declare exactly one).
+
 ``serve`` starts the HTTP serving layer (:mod:`repro.serve`) over a
 result store: cached results are answered from disk, misses run on a
 background job queue.  The first stderr line is machine-parseable —
@@ -75,6 +88,7 @@ import sys
 import time
 
 from repro.api import ExperimentResult, Session, all_experiments
+from repro.api.circuits import CIRCUIT_DIR_ENV, CircuitStore
 from repro.api.store import ResultStore, STORE_DIR_ENV, canonical_json
 from repro.exec.cache import CACHE_DIR_ENV
 
@@ -86,6 +100,10 @@ DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro", "compile")
 #: with --store-dir or the REPRO_STORE_DIR environment variable; `run`
 #: only uses a store when --store DIR is passed explicitly).
 DEFAULT_STORE_DIR = os.path.join("~", ".cache", "repro", "results")
+
+#: Default content-addressed circuit store (override with --circuit-dir
+#: or the REPRO_CIRCUIT_DIR environment variable).
+DEFAULT_CIRCUIT_DIR = os.path.join("~", ".cache", "repro", "circuits")
 
 
 def _resolve_cache_dir(cache_dir, no_cache: bool):
@@ -102,8 +120,14 @@ def _resolve_store_dir(store_dir):
             or os.path.expanduser(DEFAULT_STORE_DIR))
 
 
+def _resolve_circuit_dir(circuit_dir):
+    return (circuit_dir
+            or os.environ.get(CIRCUIT_DIR_ENV)
+            or os.path.expanduser(DEFAULT_CIRCUIT_DIR))
+
+
 def _timed_run(session: Session, name: str, quick: bool,
-               force: bool = False):
+               force: bool = False, overrides=None):
     """Run one experiment, emitting the timing diagnostic to stderr.
 
     stdout stays reserved for the (deterministic) result payload, so two
@@ -115,7 +139,8 @@ def _timed_run(session: Session, name: str, quick: bool,
     store = session.store
     hits_before = store.hits if store is not None else 0
     start = time.perf_counter()
-    result = session.run(name, quick=quick, force=force)
+    result = session.run(name, quick=quick, force=force,
+                         **(overrides or {}))
     elapsed = time.perf_counter() - start
     replayed = store is not None and store.hits > hits_before
     print(f"[{name} "
@@ -159,12 +184,43 @@ def _cmd_run(args) -> int:
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
         store_dir=args.store,
+        circuit_dir=_resolve_circuit_dir(args.circuit_dir),
     )
+    overrides = {}
+    if args.circuit is not None:
+        if args.experiment == "all":
+            print("--circuit needs one named experiment, not 'all'",
+                  file=sys.stderr)
+            return 2
+        spec = specs[args.experiment]
+        if len(spec.circuit_params) != 1:
+            which = (f"declares {len(spec.circuit_params)} circuit "
+                     f"parameters" if spec.circuit_params
+                     else "takes no circuit parameter")
+            print(f"experiment {args.experiment!r} {which}; --circuit "
+                  "needs exactly one (try workload-metrics)",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(args.circuit, encoding="utf-8") as handle:
+                qasm_text = handle.read()
+        except OSError as error:
+            print(f"cannot read {args.circuit}: {error}", file=sys.stderr)
+            return 2
+        try:
+            digest = session.circuits.add(qasm_text)
+        except ValueError as error:
+            print(f"{args.circuit}: {error}", file=sys.stderr)
+            return 2
+        overrides = {spec.circuit_params[0]: f"circuit:{digest}"}
+        print(f"[circuit {args.circuit} -> circuit:{digest[:16]}… "
+              f"in {session.circuits.path}]", file=sys.stderr)
     stats_before = session.cache_stats()
     if args.format == "text" and args.out is None:
         # Streaming text path: byte-identical to the historical CLI.
         for name in names:
-            result = _timed_run(session, name, args.quick, args.force)
+            result = _timed_run(session, name, args.quick, args.force,
+                                overrides)
             print(result.format())
             print()
         _print_cache_stats(session, stats_before)
@@ -174,13 +230,15 @@ def _cmd_run(args) -> int:
         # Same bytes as the streaming stdout mode (format() + blank
         # separator per figure), so `--out f.txt` == `> f.txt`.
         payload = "".join(
-            _timed_run(session, name, args.quick, args.force).format()
+            _timed_run(session, name, args.quick, args.force,
+                       overrides).format()
             + "\n\n"
             for name in names
         )
     else:
         payloads = {
-            name: _timed_run(session, name, args.quick, args.force).to_dict()
+            name: _timed_run(session, name, args.quick, args.force,
+                             overrides).to_dict()
             for name in names
         }
         document = (payloads[names[0]] if args.experiment != "all"
@@ -257,6 +315,7 @@ def _cmd_sweep(args) -> int:
             jobs=args.jobs,
             cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
             store_dir=args.store,
+            circuit_dir=_resolve_circuit_dir(args.circuit_dir),
         )
     hits_before = session.hits
     start = time.perf_counter()
@@ -332,6 +391,101 @@ def _cmd_cache(args) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _workload_column(envelope) -> str:
+    """The ``store ls`` workload-reference column for one envelope.
+
+    Workload-driven results carry the reference they compiled in a
+    ``workload`` field of their encoded dataclass; everything else (the
+    fixed-suite figures) shows ``-``.  Uploaded-circuit references are
+    shortened to ``circuit:<8 hex>…`` to keep the listing one line per
+    entry.
+    """
+    data = envelope.get("data")
+    fields = data.get("fields", {}) if isinstance(data, dict) else {}
+    workload = fields.get("workload")
+    if not isinstance(workload, str) or not workload:
+        return "-"
+    if workload.startswith("circuit:"):
+        return f"circuit:{workload[len('circuit:'):][:8]}…"
+    return workload
+
+
+def _cmd_circuits(args) -> int:
+    if args.circuits_command == "add" and args.server is not None:
+        from repro.api import RemoteSession
+
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                qasm_text = handle.read()
+        except OSError as error:
+            print(f"cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+        try:
+            digest = RemoteSession(args.server).upload_circuit(qasm_text)
+        except ValueError as error:
+            print(f"{args.file}: {error}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(f"cannot reach {args.server}: {error}", file=sys.stderr)
+            return 2
+        print(f"circuit:{digest}")
+        return 0
+
+    circuits = CircuitStore(_resolve_circuit_dir(args.circuit_dir))
+
+    if args.circuits_command == "add":
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                qasm_text = handle.read()
+        except OSError as error:
+            print(f"cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+        try:
+            digest = circuits.add(qasm_text)
+        except ValueError as error:
+            # The line-attributed QASM validation message, verbatim.
+            print(f"{args.file}: {error}", file=sys.stderr)
+            return 2
+        # stdout carries exactly the reference to paste into --set /
+        # --axis / params; diagnostics stay on stderr.
+        print(f"circuit:{digest}")
+        print(f"[stored in {circuits.path}]", file=sys.stderr)
+        return 0
+
+    if args.circuits_command == "ls":
+        for digest, _, size, _ in sorted(circuits.entries()):
+            print(f"circuit:{digest}  {size / 1e3:8.1f} kB")
+        stats = circuits.stats()
+        print(f"{stats['entries']} stored circuit(s), "
+              f"{stats['total_bytes'] / 1e6:.2f} MB in {stats['path']}")
+        return 0
+
+    if args.circuits_command == "show":
+        digest = args.digest
+        if digest.startswith("circuit:"):
+            digest = digest[len("circuit:"):]
+        matches = sorted({entry[0] for entry in circuits.entries()
+                          if entry[0].startswith(digest)})
+        if not matches:
+            print(f"no stored circuit matches {args.digest!r} in "
+                  f"{circuits.path}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"digest prefix {args.digest!r} is ambiguous: "
+                  f"{', '.join(d[:16] for d in matches)}", file=sys.stderr)
+            return 2
+        text = circuits.get_qasm(matches[0])
+        if text is None:
+            print(f"stored circuit {matches[0][:16]}… is unreadable",
+                  file=sys.stderr)
+            return 2
+        # The canonical QASM bytes — identical to GET /circuits/<digest>.
+        sys.stdout.write(text)
+        return 0
+    raise AssertionError(
+        f"unhandled circuits command {args.circuits_command!r}")
+
+
 def _cmd_store(args) -> int:
     store = ResultStore(_resolve_store_dir(args.store_dir))
 
@@ -357,7 +511,9 @@ def _cmd_store(args) -> int:
             # recency and flatten the LRU order gc evicts by.
             envelope = store.peek(key) or {}
             experiment = envelope.get("experiment", "?")
-            print(f"{key}  {experiment:22s} {size / 1e3:8.1f} kB")
+            workload = _workload_column(envelope)
+            print(f"{key}  {experiment:22s} {workload:28s} "
+                  f"{size / 1e3:8.1f} kB")
         stats = store.stats()
         print(f"{stats['entries']} stored result(s), "
               f"{stats['total_bytes'] / 1e6:.2f} MB in {stats['path']}")
@@ -445,6 +601,7 @@ def _cmd_serve(args) -> int:
             workers=args.jobs,
             quiet=args.quiet,
             lease_ttl=args.lease_ttl,
+            circuit_dir=args.circuit_dir,
         )
     except OSError as error:
         # Port in use, privileged port, unresolvable host: one stderr
@@ -463,7 +620,8 @@ def _cmd_serve(args) -> int:
           f"{args.jobs} local job worker(s)"
           f"{' (fleet workers only)' if args.jobs == 0 else ''}; "
           "endpoints: /experiments /results/<key> /run /jobs/<id> "
-          "/sweeps[/<id>[/stream]] /metrics /healthz "
+          "/sweeps[/<id>[/stream]] /circuits[/<digest>] "
+          "/metrics /healthz "
           "/fleet/claim|heartbeat|complete; "
           "stop with Ctrl-C]", file=sys.stderr)
     try:
@@ -498,9 +656,13 @@ def _cmd_worker(args) -> int:
     # visible to every node the moment they land.
     cache = CompileCache(_resolve_cache_dir(args.cache_dir, args.no_cache))
     store = ResultStore(_resolve_store_dir(args.store))
+    # One local circuit store per worker process: digests a job names
+    # but this node lacks are fetched from the server once, then served
+    # from here (content-addressed, so cross-node sharing is safe).
+    circuits = CircuitStore(_resolve_circuit_dir(args.circuit_dir))
 
     def session_factory():
-        return Session(jobs=1, cache=cache, store=store)
+        return Session(jobs=1, cache=cache, store=store, circuits=circuits)
 
     stop = threading.Event()
     workers = []
@@ -590,6 +752,18 @@ def main(argv=None) -> int:
         help="with --store: recompute even on a store hit and refresh "
              "the stored entry",
     )
+    run_parser.add_argument(
+        "--circuit", default=None, metavar="FILE",
+        help="ingest FILE (OpenQASM 2.0) into the circuit store and run "
+             "the experiment against its circuit:<digest> reference "
+             "(the experiment must declare exactly one circuit "
+             "parameter, e.g. workload-metrics)",
+    )
+    run_parser.add_argument(
+        "--circuit-dir", default=None, metavar="DIR",
+        help="content-addressed circuit-store directory (default: "
+             "$REPRO_CIRCUIT_DIR, else ~/.cache/repro/circuits)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a parameter grid over one experiment")
@@ -649,6 +823,12 @@ def main(argv=None) -> int:
         "--force", action="store_true",
         help="recompute every cell even when a stored result exists",
     )
+    sweep_parser.add_argument(
+        "--circuit-dir", default=None, metavar="DIR",
+        help="circuit-store directory circuit:<digest> references "
+             "resolve from (local runs only; default: "
+             "$REPRO_CIRCUIT_DIR, else ~/.cache/repro/circuits)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or shrink the on-disk compile cache")
@@ -671,6 +851,38 @@ def main(argv=None) -> int:
         "--max-size", type=float, required=True, metavar="MB",
         help="target size of the disk tier, in megabytes",
     )
+
+    circuits_parser = subparsers.add_parser(
+        "circuits",
+        help="manage the content-addressed circuit store")
+    circuit_dir_parent = argparse.ArgumentParser(add_help=False)
+    circuit_dir_parent.add_argument(
+        "--circuit-dir", default=None, metavar="DIR",
+        help="circuit-store directory (default: $REPRO_CIRCUIT_DIR, "
+             "else ~/.cache/repro/circuits)",
+    )
+    circuits_sub = circuits_parser.add_subparsers(
+        dest="circuits_command", required=True)
+    circuits_add = circuits_sub.add_parser(
+        "add", parents=[circuit_dir_parent],
+        help="ingest an OpenQASM 2.0 file; prints circuit:<digest> "
+             "(idempotent)")
+    circuits_add.add_argument("file", help="path to an OpenQASM 2.0 file")
+    circuits_add.add_argument(
+        "--server", default=None, metavar="URL",
+        help="upload to a running `repro serve` endpoint "
+             "(POST /circuits) instead of the local store",
+    )
+    circuits_sub.add_parser(
+        "ls", parents=[circuit_dir_parent],
+        help="list stored circuits (digest, size)")
+    circuits_show = circuits_sub.add_parser(
+        "show", parents=[circuit_dir_parent],
+        help="print one stored circuit's canonical QASM by digest "
+             "(unique prefixes accepted)")
+    circuits_show.add_argument(
+        "digest", help="circuit digest or circuit:<digest>, or a unique "
+                       "prefix of one")
 
     store_parser = subparsers.add_parser(
         "store", help="inspect or shrink the persistent result store")
@@ -746,6 +958,11 @@ def main(argv=None) -> int:
         "--quiet", action="store_true",
         help="suppress the per-request access log on stderr",
     )
+    serve_parser.add_argument(
+        "--circuit-dir", default=None, metavar="DIR",
+        help="circuit-store directory uploads land in and digest "
+             "references resolve from (default: <store>/circuits)",
+    )
 
     worker_parser = subparsers.add_parser(
         "worker",
@@ -775,6 +992,13 @@ def main(argv=None) -> int:
     worker_parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk compile cache (memory-only)",
+    )
+    worker_parser.add_argument(
+        "--circuit-dir", default=None, metavar="DIR",
+        help="local circuit-store directory; digests a claimed job "
+             "names but this store lacks are fetched from the server "
+             "and cached here (default: $REPRO_CIRCUIT_DIR, else "
+             "~/.cache/repro/circuits)",
     )
     worker_parser.add_argument(
         "--poll", type=float, default=0.5, metavar="S",
@@ -808,6 +1032,8 @@ def main(argv=None) -> int:
             return _cmd_cache(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "circuits":
+            return _cmd_circuits(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "serve":

@@ -24,7 +24,7 @@ from repro.core.config import CompilerConfig
 from repro.exec.cache import cached_compile
 from repro.hardware.noise import NoiseModel
 from repro.hardware.topology import Topology
-from repro.workloads.registry import get_benchmark
+from repro.workloads.ref import resolve_circuit
 
 #: The paper's device (§III-C): a 10x10 atom array.
 DEFAULT_GRID_SIDE = 10
@@ -130,11 +130,17 @@ def compiled_metrics(
     arch: Architecture,
     rng_seed: int = 0,
 ) -> ProgramMetrics:
-    """Compile (cached) and summarize one benchmark instance on one arch."""
+    """Compile (cached) and summarize one workload instance on one arch.
+
+    ``benchmark`` is any workload reference — a named family (sized by
+    ``num_qubits``), ``"family@size"``, or an uploaded ``circuit:<digest>``
+    resolved through the active session's circuit store — all sourced
+    through the one :func:`repro.workloads.ref.resolve_circuit` seam.
+    """
     key = (benchmark, num_qubits, arch, rng_seed)
     if key in _CACHE:
         return _CACHE[key]
-    circuit = get_benchmark(benchmark).circuit(num_qubits, rng=rng_seed)
+    circuit = resolve_circuit(benchmark, num_qubits, rng=rng_seed)
     program = cached_compile(circuit, arch.topology(), arch.config())
     metrics = ProgramMetrics.from_program(program, benchmark=benchmark)
     _CACHE[key] = metrics

@@ -96,15 +96,16 @@ def valid_sizes(benchmark: str, max_size: int, step: int = 5) -> List[int]:
     """Distinct realizable sizes of ``benchmark`` up to ``max_size``.
 
     Walks the requested grid and deduplicates through each family's own
-    size rounding (e.g. Cuccaro only realizes sizes 2n+2).
+    size-rounding lattice (e.g. Cuccaro only realizes sizes 2n+2) —
+    via :meth:`Benchmark.realized_size`, so no circuit is built.
     """
     bench = get_benchmark(benchmark)
     sizes = []
     seen = set()
     for requested in range(max(bench.min_size, step), max_size + 1, step):
-        circuit = bench.circuit(requested, rng=0)
-        if circuit.num_qubits not in seen:
-            seen.add(circuit.num_qubits)
+        realized = bench.realized_size(requested)
+        if realized not in seen:
+            seen.add(realized)
             sizes.append(requested)
     return sizes
 

@@ -14,6 +14,9 @@ anything that embeds it — the CLI, services, notebooks:
 * :class:`ResultStore` / :func:`store_key` — the persistent
   content-addressed store of result envelopes behind read-through
   ``Session(store_dir=...).run``;
+* :class:`CircuitStore` — its circuit-side sibling: uploaded programs
+  stored under their canonical gate-stream digest, resolvable as
+  ``circuit:<digest>`` workload references in any experiment;
 * :class:`SweepSpec` / :class:`SweepResult` — first-class parameter
   sweeps: a validated grid that expands canonically into per-cell store
   keys, run via ``Session.run_sweep`` / ``iter_sweep`` (or streamed
@@ -26,6 +29,7 @@ anything that embeds it — the CLI, services, notebooks:
 absent from it is internal and may change without notice.
 """
 
+from repro.api.circuits import CircuitStore
 from repro.api.client import RemoteRunError, RemoteSession
 from repro.api.protocol import SessionProtocol
 from repro.api.registry import (
@@ -61,6 +65,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "SWEEP_SCHEMA",
     "SWEEP_SCHEMA_VERSION",
+    "CircuitStore",
     "ExperimentResult",
     "ExperimentSpec",
     "ParamSpec",

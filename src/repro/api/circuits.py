@@ -1,0 +1,176 @@
+"""Content-addressed on-disk store of uploaded circuits.
+
+The circuit-side sibling of :class:`repro.api.store.ResultStore`: a
+:class:`CircuitStore` persists user-supplied programs under their
+canonical gate-stream digest (:func:`repro.circuits.digest.
+circuit_digest`), so a ``circuit:<digest>`` workload reference resolves
+to the same program on any machine that holds the bytes — the server,
+a fleet worker's local cache, a developer laptop.
+
+What is stored is the **canonical QASM text** (``to_qasm(from_qasm(
+upload))``), not the upload verbatim: comments, blank lines, and
+whitespace are not part of program identity, so two uploads differing
+only in those collapse to one entry, and ``GET /circuits/<digest>``
+returns byte-identical text everywhere.  Writes are atomic (temp file +
+``os.replace``), re-adding an existing digest is a no-op (idempotent
+uploads), and :meth:`gc` bounds the directory with the shared
+LRU-by-mtime policy from :mod:`repro.exec.diskutil`.
+
+Reads re-verify: :meth:`get` re-digests the parsed circuit and treats a
+mismatch (torn write, tampered file) as a miss rather than silently
+running the wrong program under a right-looking name.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.digest import circuit_digest, is_circuit_digest
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.exec.diskutil import lru_evict, sweep_stale_temp_files
+
+#: Environment variable naming the default circuit-store directory.
+CIRCUIT_DIR_ENV = "REPRO_CIRCUIT_DIR"
+
+
+class CircuitStore:
+    """On-disk circuits keyed by canonical gate-stream digest."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self._warned_unwritable = False
+
+    def _warn_unwritable(self, error: OSError) -> None:
+        if self._warned_unwritable:
+            return
+        self._warned_unwritable = True
+        print(f"[circuit store {self.path} is not writable ({error}); "
+              "uploads will not persist]", file=sys.stderr)
+
+    def _file_for(self, digest: str) -> str:
+        return os.path.join(self.path, digest[:2], digest + ".qasm")
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def add(self, qasm_text: str) -> str:
+        """Ingest QASM text; returns the digest.  Idempotent.
+
+        Parses through :func:`repro.circuits.qasm.from_qasm` (so every
+        validation error it raises applies here) and stores the
+        canonical re-serialization.  Propagates ``ValueError`` on
+        malformed programs; an unwritable directory degrades to
+        in-memory-only (the digest is still returned, nothing persists).
+        """
+        return self.add_circuit(from_qasm(qasm_text))
+
+    def add_circuit(self, circuit: Circuit) -> str:
+        """Ingest an in-memory circuit; returns the digest.  Idempotent."""
+        digest = circuit_digest(circuit)
+        target = self._file_for(digest)
+        if os.path.exists(target):
+            return digest
+        directory = os.path.dirname(target)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".qasm"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8",
+                               newline="") as handle:
+                    handle.write(to_qasm(circuit))
+                os.replace(temp_path, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self._warn_unwritable(error)
+        return digest
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def get_qasm(self, digest: str) -> Optional[str]:
+        """The stored canonical QASM text for ``digest``, or ``None``."""
+        if not is_circuit_digest(digest):
+            return None
+        try:
+            with open(self._file_for(digest), "r",
+                      encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        return text
+
+    def get(self, digest: str) -> Optional[Circuit]:
+        """The circuit stored under ``digest``, or ``None``.
+
+        Verified: the parsed circuit must re-digest to ``digest``; a
+        corrupt or tampered entry is a miss, never a wrong program.  A
+        hit touches mtime so :meth:`gc` evicts least-recently-used
+        entries first.
+        """
+        text = self.get_qasm(digest)
+        if text is None:
+            return None
+        try:
+            circuit = from_qasm(text)
+        except ValueError:
+            return None
+        if circuit_digest(circuit) != digest:
+            return None
+        try:
+            os.utime(self._file_for(digest))
+        except OSError:
+            pass
+        return circuit
+
+    def has(self, digest: str) -> bool:
+        return (is_circuit_digest(digest)
+                and os.path.exists(self._file_for(digest)))
+
+    # -- maintenance -------------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, str, int, float]]:
+        """Every stored circuit as ``(digest, path, bytes, mtime)``."""
+        rows = []
+        for dirpath, _, filenames in os.walk(self.path):
+            for name in filenames:
+                if not name.endswith(".qasm") or name.startswith(".tmp-"):
+                    continue
+                target = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(target)
+                except OSError:
+                    continue
+                rows.append((name[:-len(".qasm")], target,
+                             info.st_size, info.st_mtime))
+        return rows
+
+    def stats(self) -> Dict[str, Any]:
+        rows = self.entries()
+        return {
+            "path": self.path,
+            "entries": len(rows),
+            "total_bytes": sum(size for _, _, size, _ in rows),
+        }
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used circuits until the store fits
+        ``max_bytes`` (shared policy: :mod:`repro.exec.diskutil`)."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        sweep_stale_temp_files(self.path, max_age_seconds=3600.0)
+        return lru_evict(
+            [(path, size, mtime) for _, path, size, mtime in self.entries()],
+            max_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"CircuitStore({self.path!r})"

@@ -222,6 +222,41 @@ class RemoteSession:
             results=tuple(result for _, result in pairs),
         )
 
+    def upload_circuit(self, qasm_text: str) -> str:
+        """``POST /circuits``: ingest an OpenQASM program; the digest.
+
+        Idempotent — re-uploading known content returns the same digest.
+        Use the returned digest (as ``circuit:<digest>``) in run/sweep
+        parameters.  Raises ``ValueError`` on malformed QASM (the
+        server's line-attributed validation message).
+        """
+        request = urllib.request.Request(
+            self.base_url + "/circuits", data=qasm_text.encode("utf-8"),
+            headers={"Content-Type": "text/plain; charset=utf-8"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                decoded = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            _raise_mapped(error)
+        return decoded["digest"]
+
+    def circuit_qasm(self, digest: str) -> str:
+        """``GET /circuits/<digest>``: the stored canonical QASM text
+        (``KeyError`` when the server does not hold the digest)."""
+        request = urllib.request.Request(
+            self.base_url + f"/circuits/{digest}", method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            if error.code in (400, 404):
+                raise KeyError(_decode_error(error)[0]) from None
+            raise
+
     def submit(self, experiment: str, quick: bool = False,
                force: bool = False, **params) -> Dict[str, Any]:
         """Enqueue without waiting; returns the job description

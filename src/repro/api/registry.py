@@ -44,6 +44,11 @@ class ExperimentSpec:
     #: Reduced keyword arguments for ``--quick`` runs.
     quick: Mapping[str, Any] = field(default_factory=dict)
     params: Tuple[ParamSpec, ...] = ()
+    #: Parameter names carrying a workload reference (named family,
+    #: ``family@size``, or ``circuit:<digest>``) — validated through
+    #: :meth:`repro.workloads.ref.WorkloadRef.parse` at resolve time,
+    #: and the hook ``repro run EXP --circuit file.qasm`` injects into.
+    circuit_params: Tuple[str, ...] = ()
 
     def param_defaults(self) -> Dict[str, Any]:
         """Parameter schema as ``{name: default}``."""
@@ -74,6 +79,18 @@ class ExperimentSpec:
         self.validate_params(kwargs)
         resolved = self.param_defaults()
         resolved.update(kwargs)
+        for name in self.circuit_params:
+            value = resolved.get(name)
+            if value is None:
+                continue
+            from repro.workloads.ref import WorkloadRef
+
+            try:
+                WorkloadRef.parse(value)
+            except ValueError as error:
+                raise ValueError(
+                    f"experiment {self.name!r} parameter {name!r}: {error}"
+                ) from None
         return resolved
 
     def run(self, quick: bool = False, **overrides) -> ExperimentResult:
@@ -105,12 +122,14 @@ def register_experiment(
     result_type: Type[ExperimentResult],
     quick: Optional[Mapping[str, Any]] = None,
     doc: Optional[str] = None,
+    circuit_params: Tuple[str, ...] = (),
 ) -> ExperimentSpec:
     """Register one experiment driver; called at driver-module import.
 
     Derives the parameter schema from ``runner``'s signature, stamps
     ``result_type.experiment_name``, and registers the result type for
-    tagged serialization.
+    tagged serialization.  ``circuit_params`` names the parameters that
+    carry workload references (validated at resolve time).
     """
     if not (isinstance(result_type, type)
             and issubclass(result_type, ExperimentResult)):
@@ -128,7 +147,15 @@ def register_experiment(
         result_type=result_type,
         quick=dict(quick or {}),
         params=_params_from_signature(runner),
+        circuit_params=tuple(circuit_params),
     )
+    unknown_circuit_params = (set(spec.circuit_params)
+                              - {p.name for p in spec.params})
+    if unknown_circuit_params:
+        raise ValueError(
+            f"circuit_params {sorted(unknown_circuit_params)} are not "
+            f"parameters of {name!r}"
+        )
     spec.validate_params(spec.quick)
     existing = _SPECS.get(name)
     if existing is not None and existing.runner is not runner:

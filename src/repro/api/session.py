@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Iterable, List, Optional
 
+from repro.api.circuits import CIRCUIT_DIR_ENV, CircuitStore
 from repro.api.store import ResultStore
 from repro.exec.cache import CACHE_DIR_ENV, CompileCache
 
@@ -64,6 +65,12 @@ class Session:
         ``None`` (the default) picks inline vs. spawn-pool from
         ``jobs`` per call — the historical behavior.  A per-call
         ``run_tasks(jobs=...)`` override still wins over the pin.
+    ``circuits`` / ``circuit_dir``
+        The content-addressed :class:`~repro.api.circuits.CircuitStore`
+        this session resolves ``circuit:<digest>`` workload references
+        through.  Defaults to ``$REPRO_CIRCUIT_DIR`` or
+        ``~/.cache/repro/circuits`` (nothing touches disk until a
+        circuit is actually added or resolved).
     """
 
     def __init__(
@@ -75,6 +82,8 @@ class Session:
         store_dir: Optional[str] = None,
         store: Optional[ResultStore] = None,
         backend=None,
+        circuit_dir: Optional[str] = None,
+        circuits: Optional[CircuitStore] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -82,6 +91,8 @@ class Session:
             raise ValueError("pass cache or cache_dir, not both")
         if store is not None and store_dir is not None:
             raise ValueError("pass store or store_dir, not both")
+        if circuits is not None and circuit_dir is not None:
+            raise ValueError("pass circuits or circuit_dir, not both")
         if backend is not None and not callable(getattr(backend, "run",
                                                         None)):
             raise TypeError(
@@ -93,6 +104,13 @@ class Session:
         self.store = (store if store is not None
                       else ResultStore(store_dir) if store_dir else None)
         self.backend = backend
+        if circuits is None:
+            if circuit_dir is None:
+                circuit_dir = (os.environ.get(CIRCUIT_DIR_ENV)
+                               or os.path.join(os.path.expanduser("~"),
+                                               ".cache", "repro", "circuits"))
+            circuits = CircuitStore(circuit_dir)
+        self.circuits = circuits
         #: Sweep tasks dispatched under this session (parent-side count,
         #: any worker level) — zero across a pure store replay.
         self.tasks_executed = 0
@@ -242,7 +260,8 @@ class Session:
         stored = self.store.path if self.store is not None else None
         pinned = f", backend={self.backend!r}" if self.backend else ""
         return (f"Session(jobs={self.jobs}, cache={where!r}, "
-                f"seed={self.seed!r}, store={stored!r}{pinned})")
+                f"seed={self.seed!r}, store={stored!r}, "
+                f"circuits={self.circuits.path!r}{pinned})")
 
 
 # -- current / default session resolution ------------------------------------------------

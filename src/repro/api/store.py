@@ -63,16 +63,27 @@ def _storable(value: Any) -> bool:
         return True
     if isinstance(value, (tuple, list)):
         return all(_storable(item) for item in value)
-    return False
+    return callable(getattr(value, "store_form", None))
 
 
 def _normalized(value: Any) -> Any:
-    """Lists folded into tuples, recursively.
+    """Lists folded into tuples, recursively; typed workload references
+    folded into their canonical string.
 
     Drivers treat sequence parameters interchangeably (``mids=[2.0]``
     vs ``mids=(2.0,)``), so turning a store on must not start rejecting
     — or re-keying — the list spelling of a call that already worked.
+    Likewise a typed :class:`repro.workloads.ref.WorkloadRef` and its
+    string spelling (``"bv@20"``, ``"circuit:<digest>"``) must share one
+    key: refs arrive typed from Python callers and as strings over JSON
+    (serve, fleet), and those are the *same run*.  No ``SCHEMA_VERSION``
+    bump: accepting a new value type cannot re-key any existing entry —
+    only changing the canonical form of an already-accepted type can
+    (see :func:`repro.exec.keys.task_key`).
     """
+    store_form = getattr(value, "store_form", None)
+    if callable(store_form):
+        return store_form()
     if isinstance(value, (tuple, list)):
         return tuple(_normalized(item) for item in value)
     return value

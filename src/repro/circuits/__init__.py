@@ -6,6 +6,13 @@ circuits, dependency DAGs, decompositions, and OpenQASM interchange.
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import CircuitDag, Frontier, interaction_pairs
+from repro.circuits.digest import (
+    CIRCUIT_REF_PREFIX,
+    circuit_digest,
+    circuit_ref,
+    is_circuit_digest,
+    parse_circuit_ref,
+)
 from repro.circuits.decompose import (
     decompose_ccx,
     decompose_circuit,
@@ -20,13 +27,19 @@ from repro.circuits.optimize import (
     optimization_report,
     optimize_circuit,
 )
-from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.qasm import SUPPORTED_QASM_GATES, from_qasm, to_qasm
 
 __all__ = [
+    "CIRCUIT_REF_PREFIX",
     "Circuit",
     "CircuitDag",
     "Frontier",
     "Gate",
+    "SUPPORTED_QASM_GATES",
+    "circuit_digest",
+    "circuit_ref",
+    "is_circuit_digest",
+    "parse_circuit_ref",
     "decompose_ccx",
     "decompose_circuit",
     "decompose_gate",

@@ -3,12 +3,19 @@
 Provides interchange with the wider ecosystem (the paper's artifact is
 Qiskit-adjacent).  Only the gate set used by this library is supported;
 this is an interchange convenience, not a full OpenQASM front end.
+
+Because ``from_qasm`` is the ingestion point for *user-supplied*
+workloads (``POST /circuits``, ``repro circuits add``), it validates
+loudly rather than best-effort: malformed or oversized register
+declarations, gates outside :data:`SUPPORTED_QASM_GATES`, bad
+parameters, and out-of-range operands all raise ``ValueError`` naming
+the offending line — nothing is silently dropped or guessed.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import List
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate
@@ -27,6 +34,25 @@ _FROM_QASM = {
     "ccz": "ccz",
     "toffoli": "ccx",
 }
+
+#: Every gate name accepted after alias normalization — exactly the set
+#: the gate library (:mod:`repro.circuits.gate_library`) can interpret,
+#: plus ``measure``.  Multi-controlled X gates (``c<N>x``) are
+#: additionally accepted by pattern.
+SUPPORTED_QASM_GATES = frozenset({
+    "i", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+    "rx", "ry", "rz", "p", "phase",
+    "cx", "cz", "cphase", "rzz", "swap",
+    "ccx", "ccz", "cswap",
+    "measure",
+})
+
+_MCX_RE = re.compile(r"^c\d+x$")
+
+#: Register-size ceiling for ingested programs.  Far above any device
+#: this library models (the paper's array is 10x10); a declaration past
+#: it is a malformed or hostile upload, not a workload.
+MAX_QASM_QUBITS = 4096
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
@@ -60,34 +86,99 @@ _MEASURE_RE = re.compile(r"^measure\s+q\[(?P<q>\d+)\]\s*->\s*c\[\d+\]\s*;$")
 _QREG_RE = re.compile(r"^qreg\s+q\[(?P<n>\d+)\]\s*;$")
 
 
+def _supported(name: str) -> bool:
+    return name in SUPPORTED_QASM_GATES or bool(_MCX_RE.match(name))
+
+
+def _reject(lineno: int, raw_line: str, reason: str) -> ValueError:
+    return ValueError(f"QASM line {lineno}: {reason} in {raw_line!r}")
+
+
 def from_qasm(text: str) -> Circuit:
-    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (single qreg)."""
+    """Parse OpenQASM 2.0 text (single ``q`` register).
+
+    Raises ``ValueError`` — always naming the offending source line —
+    for malformed, duplicate, empty, or oversized ``qreg`` declarations,
+    gates outside :data:`SUPPORTED_QASM_GATES` (or ``c<N>x``), malformed
+    parameters, operands outside the declared register, and any line
+    matching no supported form.
+    """
     num_qubits = None
     gates: List[Gate] = []
-    for raw_line in text.splitlines():
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("//")[0].strip()
-        if not line or line.startswith(("OPENQASM", "include", "creg", "barrier")):
+        if not line or line.startswith(("OPENQASM", "include", "creg",
+                                        "barrier")):
             continue
-        qreg = _QREG_RE.match(line)
-        if qreg:
-            num_qubits = int(qreg.group("n"))
+        if line.startswith("qreg"):
+            qreg = _QREG_RE.match(line)
+            if not qreg:
+                raise _reject(lineno, raw_line,
+                              "malformed register declaration (expected "
+                              "'qreg q[N];')")
+            if num_qubits is not None:
+                raise _reject(lineno, raw_line,
+                              "duplicate qreg declaration (a single "
+                              "register is supported)")
+            declared = int(qreg.group("n"))
+            if declared < 1:
+                raise _reject(lineno, raw_line, "empty register")
+            if declared > MAX_QASM_QUBITS:
+                raise _reject(
+                    lineno, raw_line,
+                    f"oversized register ({declared} qubits; the "
+                    f"supported maximum is {MAX_QASM_QUBITS})")
+            num_qubits = declared
             continue
         meas = _MEASURE_RE.match(line)
         if meas:
-            gates.append(Gate("measure", (int(meas.group("q")),)))
+            if num_qubits is None:
+                raise _reject(lineno, raw_line,
+                              "measurement before the qreg declaration")
+            measured = int(meas.group("q"))
+            if measured >= num_qubits:
+                raise _reject(
+                    lineno, raw_line,
+                    f"operand q[{measured}] outside the declared register "
+                    f"of size {num_qubits}")
+            gates.append(Gate("measure", (measured,)))
             continue
         match = _GATE_RE.match(line)
         if not match:
             raise ValueError(f"unsupported QASM line: {raw_line!r}")
+        if num_qubits is None:
+            raise _reject(lineno, raw_line,
+                          "gate before the qreg declaration")
         name = _FROM_QASM.get(match.group("name"), match.group("name"))
+        if not _supported(name):
+            raise _reject(
+                lineno, raw_line,
+                f"unsupported gate {match.group('name')!r} (supported: "
+                f"{', '.join(sorted(SUPPORTED_QASM_GATES))}, c<N>x)")
         params_text = match.group("params")
-        params = tuple(
-            float(p) for p in params_text.split(",")
-        ) if params_text else ()
+        if params_text:
+            try:
+                params = tuple(float(p) for p in params_text.split(","))
+            except ValueError:
+                raise _reject(lineno, raw_line,
+                              f"malformed parameter list ({params_text!r};"
+                              " parameters must be numeric literals)"
+                              ) from None
+        else:
+            params = ()
         qubits = tuple(
             int(m) for m in re.findall(r"q\[(\d+)\]", match.group("operands"))
         )
-        gates.append(Gate(name, qubits, params))
+        try:
+            gate = Gate(name, qubits, params)
+        except ValueError as error:
+            raise _reject(lineno, raw_line, str(error)) from None
+        if max(qubits) >= num_qubits:
+            raise _reject(
+                lineno, raw_line,
+                f"operand q[{max(qubits)}] outside the declared register "
+                f"of size {num_qubits}")
+        gates.append(gate)
     if num_qubits is None:
         raise ValueError("QASM text declares no qreg")
     return Circuit(num_qubits, gates)

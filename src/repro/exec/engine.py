@@ -91,12 +91,14 @@ def sweep_settings(jobs: Optional[int] = None,
     base = current_session()
     cache = (base.cache if cache_dir == "__keep__"
              else CompileCache(cache_dir))
-    overlay = Session(jobs=base.jobs if jobs is None else jobs, cache=cache)
+    overlay = Session(jobs=base.jobs if jobs is None else jobs, cache=cache,
+                      circuits=base.circuits)
     with overlay.activate():
         yield overlay
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(cache_dir: Optional[str],
+                 circuit_dir: Optional[str] = None) -> None:
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  Workers must not also raise KeyboardInterrupt mid-task
     # (half-written state, a traceback storm, and a pool that can hang
@@ -107,10 +109,13 @@ def _worker_init(cache_dir: Optional[str]) -> None:
     # Mirror the parent session's cache policy exactly — including
     # "disabled".  A worker must not fall back to REPRO_CACHE_DIR from
     # the inherited environment when the parent session explicitly runs
-    # without a disk cache.
+    # without a disk cache.  The circuit store is mirrored the same way
+    # so a task resolving a circuit:<digest> workload reads the parent's
+    # store, not the environment default.
     from repro.api.session import Session, install_default
 
-    install_default(Session(jobs=1, cache_dir=cache_dir))
+    install_default(Session(jobs=1, cache_dir=cache_dir,
+                            circuit_dir=circuit_dir))
 
 
 def _reclaim_interrupted_temp_files(cache) -> None:
@@ -200,7 +205,7 @@ class SpawnPoolBackend(ExecBackend):
             max_workers=jobs,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(session.cache.path,),
+            initargs=(session.cache.path, session.circuits.path),
         )
         try:
             futures = [pool.submit(task_fn, task) for task in tasks]

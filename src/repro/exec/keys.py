@@ -112,10 +112,25 @@ def task_key(**params) -> str:
 
     Floats are rendered with ``repr`` so 3.0 and 3 stay distinct from
     3.5 but identical across processes.
+
+    Values carrying a callable ``store_form()`` (typed workload
+    references — :class:`repro.workloads.ref.WorkloadRef`) canonicalize
+    to that string, so the typed object and its string spelling
+    (``"bv@20"``, ``"circuit:<digest>"``) produce the same key.
+
+    **SCHEMA_VERSION rules:** adding acceptance of a *new* value type
+    (as here) needs no bump — no pre-existing key ever contained such a
+    value, so every named-benchmark key is unchanged.  A bump is
+    required only when the canonicalization of an *already-accepted*
+    type changes (e.g. a different float rendering), which would silently
+    re-key existing results.
     """
     parts = []
     for name in sorted(params):
         value = params[name]
+        store_form = getattr(value, "store_form", None)
+        if callable(store_form):
+            value = store_form()
         if isinstance(value, float):
             value = repr(value)
         parts.append(f"{name}={value!r}")

@@ -31,6 +31,7 @@ from repro.experiments import ext_device_scaling  # noqa: F401  isort:skip
 from repro.experiments import ext_trapped_ion  # noqa: F401  isort:skip
 from repro.experiments import ext_geometry  # noqa: F401  isort:skip
 from repro.experiments import ext_validation_noisy  # noqa: F401  isort:skip
+from repro.experiments import workloads  # noqa: F401  isort:skip
 
 import sys as _sys
 
@@ -65,4 +66,5 @@ __all__ = ["ALL_EXPERIMENTS"] + [
     "fig13_sensitivity",
     "fig14_timeline",
     "validation",
+    "workloads",
 ]

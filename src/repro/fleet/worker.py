@@ -82,6 +82,28 @@ class WorkerClient:
         """One claim attempt; the job description, or ``None`` if idle."""
         return self._post(CLAIM_PATH, {"worker": self.worker_id})["job"]
 
+    def fetch_circuit(self, digest: str) -> str:
+        """``GET /circuits/<digest>``: the canonical QASM text.
+
+        Raises ``RuntimeError`` when the server does not hold the digest
+        (or any other HTTP failure) — a job referencing it cannot run.
+        """
+        request = urllib.request.Request(
+            self.base_url + "/circuits/" + digest, method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body or f"HTTP {error.code}"
+            raise RuntimeError(
+                f"/circuits/{digest[:16]}… failed: HTTP {error.code}: "
+                f"{message}") from None
+
     def heartbeat(self, job_id: str) -> float:
         """Renew the lease; seconds to expiry.  Raises LeaseLost."""
         decoded = self._post(HEARTBEAT_PATH,
@@ -170,6 +192,34 @@ class FleetWorker:
                 completed_here += 1
         return completed_here
 
+    def _prefetch_circuits(self, session, claimed: Dict[str, Any]) -> None:
+        """Fetch every circuit digest the claimed job references but the
+        worker's local circuit store lacks.
+
+        Fetched circuits are cached locally (content-addressed, so the
+        second job naming the same digest is a pure local read), and the
+        received bytes are verified: a program that does not re-digest
+        to what the job named is refused rather than executed.  Raises
+        on any failure — reported as the job's error by the caller.
+        """
+        from repro.api.registry import get_experiment
+        from repro.workloads.ref import iter_circuit_digests
+
+        spec = get_experiment(claimed["experiment"])
+        resolved = spec.resolved_params(
+            quick=bool(claimed.get("quick")),
+            overrides=claimed.get("params", {}))
+        for digest in sorted(set(iter_circuit_digests(resolved))):
+            if session.circuits.has(digest):
+                continue
+            stored = session.circuits.add(
+                self.client.fetch_circuit(digest))
+            if stored != digest:
+                raise RuntimeError(
+                    f"server returned a circuit digesting to "
+                    f"{stored[:16]}… for requested {digest[:16]}…")
+            self._log(f"fetched circuit {digest[:16]}…")
+
     def _execute(self, claimed: Dict[str, Any]) -> bool:
         """Run one claimed job; ``True`` when an outcome was reported."""
         job_id = claimed["id"]
@@ -209,6 +259,7 @@ class FleetWorker:
         start = time.perf_counter()
         try:
             session = self._session_factory()
+            self._prefetch_circuits(session, claimed)
             result = session.run(claimed["experiment"],
                                  quick=bool(claimed.get("quick")),
                                  force=bool(claimed.get("force")),

@@ -257,12 +257,12 @@ def run_shot_spec(spec: ShotSpec) -> RunResult:
     """Execute one :class:`ShotSpec` (module-level: usable as an engine
     task function from spawn-based workers)."""
     from repro.loss.strategies import make_strategy
-    from repro.workloads.registry import build_circuit
+    from repro.workloads.ref import resolve_circuit
 
     noise = spec.noise or NoiseModel.neutral_atom()
     runner = ShotRunner(
         make_strategy(spec.strategy, noise=noise),
-        build_circuit(spec.benchmark, spec.program_size),
+        resolve_circuit(spec.benchmark, spec.program_size),
         Topology.square(spec.grid_side, spec.mid),
         config=CompilerConfig(max_interaction_distance=spec.mid),
         noise=noise,

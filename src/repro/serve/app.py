@@ -13,9 +13,14 @@ Endpoints::
     GET  /experiments/<name> one spec
     GET  /results/<key>      the stored envelope — byte-identical to
                              `python -m repro run X --format json`
+    POST /circuits           ingest an OpenQASM body -> its canonical
+                             digest (content-addressed, idempotent)
+    GET  /circuits           every stored circuit digest
+    GET  /circuits/<digest>  the canonical QASM text (text/plain)
     POST /run                resolve params -> store key; serve a hit
                              directly, queue a miss ({"wait": true}
-                             blocks for the result bytes)
+                             blocks for the result bytes); params may
+                             reference uploaded circuits by digest
     GET  /jobs/<id>          job lifecycle/status
     POST /sweeps             expand a SweepSpec server-side; one job per
                              cell (store hits short-circuit, misses ride
@@ -41,14 +46,19 @@ coincidence.
 from __future__ import annotations
 
 import json
+import os
 import re
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.api.circuits import CircuitStore
 from repro.api.registry import ExperimentSpec, all_experiments
 from repro.api.store import ResultStore, canonical_json, store_key
 from repro.api.sweep import SweepSpec
+from repro.circuits.digest import circuit_digest, is_circuit_digest
+from repro.circuits.qasm import from_qasm
+from repro.workloads.ref import iter_circuit_digests
 from repro.fleet.leases import LeaseLost
 from repro.fleet.protocol import (
     CLAIM_PATH,
@@ -136,12 +146,18 @@ class ServeApp:
 
     def __init__(self, store: ResultStore, jobs: JobQueue,
                  metrics: Optional[ServeMetrics] = None,
-                 sweeps: Optional[SweepTable] = None):
+                 sweeps: Optional[SweepTable] = None,
+                 circuits: Optional[CircuitStore] = None):
         self.store = store
         self.jobs = jobs
         self.metrics = metrics if metrics is not None else jobs.metrics
         self.sweeps = (sweeps if sweeps is not None
                        else SweepTable(store, jobs, self.metrics))
+        # Uploaded-workload storage defaults to a sibling of the result
+        # store, so a bare ServeApp(store, jobs) still serves /circuits.
+        self.circuits = (circuits if circuits is not None
+                         else CircuitStore(os.path.join(store.path,
+                                                        "circuits")))
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -164,6 +180,13 @@ class ServeApp:
             if path.startswith("/results/") and method == "GET":
                 return ("GET /results/<key>",
                         self._result(path[len("/results/"):]))
+            if path == "/circuits" and method == "POST":
+                return "POST /circuits", self._circuit_upload(body)
+            if path == "/circuits" and method == "GET":
+                return "GET /circuits", self._circuit_list()
+            if path.startswith("/circuits/") and method == "GET":
+                return ("GET /circuits/<digest>",
+                        self._circuit(path[len("/circuits/"):]))
             if path == "/run" and method == "POST":
                 return "POST /run", self._run(body)
             if path.startswith("/jobs/") and method == "GET":
@@ -220,6 +243,55 @@ class ServeApp:
         return Response(200, canonical_json(envelope).encode(),
                         {"X-Repro-Key": key})
 
+    # -- circuits ----------------------------------------------------------------
+
+    def _circuit_upload(self, body: bytes) -> Response:
+        """Ingest an OpenQASM body; 200 with the digest (idempotent —
+        re-uploading known content returns the same digest)."""
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            return _error(400, "circuit body must be UTF-8 OpenQASM text")
+        try:
+            circuit = from_qasm(text)
+        except ValueError as error:
+            return _error(400, str(error), "ValueError")
+        digest = circuit_digest(circuit)
+        known = self.circuits.has(digest)
+        if not known:
+            self.circuits.add_circuit(circuit)
+        self.metrics.count("circuits_uploaded")
+        return _json_response(200, {
+            "digest": digest,
+            "ref": f"circuit:{digest}",
+            "created": not known,
+        }, {"X-Repro-Circuit": digest})
+
+    def _circuit_list(self) -> Response:
+        rows = sorted(self.circuits.entries())
+        return _json_response(200, {
+            "circuits": [{"digest": digest, "bytes": size}
+                         for digest, _, size, _ in rows],
+        })
+
+    def _circuit(self, digest: str) -> Response:
+        if not is_circuit_digest(digest):
+            return _error(400, "a circuit digest is 64 lowercase hex "
+                               "digits")
+        text = self.circuits.get_qasm(digest)
+        if text is None:
+            return _error(404, f"no stored circuit under digest "
+                               f"{digest[:16]}…")
+        self.metrics.count("circuits_served")
+        return Response(200, text.encode("utf-8"),
+                        {"Content-Type": "text/plain; charset=utf-8",
+                         "X-Repro-Circuit": digest})
+
+    def _missing_circuits(self, resolved: Dict[str, Any]) -> list:
+        """Digests referenced by ``resolved`` that the store lacks."""
+        return sorted(digest for digest in set(iter_circuit_digests(resolved))
+                      if not self.circuits.has(digest))
+
     def _run(self, body: bytes) -> Response:
         try:
             request = json.loads(body or b"{}")
@@ -247,8 +319,16 @@ class ServeApp:
         try:
             resolved = spec.resolved_params(quick=quick, overrides=params)
             key = store_key(experiment, resolved)
+            missing = self._missing_circuits(resolved)
         except (TypeError, ValueError) as error:
             return _error(400, str(error), type(error).__name__)
+        if missing:
+            # Validated before keying the store or queueing: a run
+            # naming an unknown digest would only fail later inside a
+            # job thread, costing a queue slot to report a client error.
+            return _error(400, "params reference circuit(s) not in the "
+                               "server's store (upload via POST /circuits "
+                               "first): " + ", ".join(missing), "KeyError")
 
         if not force:
             start = time.perf_counter()
@@ -303,8 +383,15 @@ class ServeApp:
         force = bool(request.get("force", False))
         try:
             spec = SweepSpec.from_dict(request)
+            missing = self._missing_circuits(
+                {"params": request.get("params"),
+                 "axes": request.get("axes")})
         except (TypeError, ValueError) as error:
             return _error(400, str(error), type(error).__name__)
+        if missing:
+            return _error(400, "sweep references circuit(s) not in the "
+                               "server's store (upload via POST /circuits "
+                               "first): " + ", ".join(missing), "KeyError")
         record = self.sweeps.submit(spec, force=force)
         return _json_response(202, record.describe(),
                               {"X-Repro-Sweep": record.id})
@@ -345,6 +432,7 @@ class ServeApp:
             "sweep_table": self.sweeps.describe(),
             "fleet_workers": self.jobs.describe_fleet(),
             "store_dir": self.store.path,
+            "circuit_store": self.circuits.stats(),
             "recent_runs": {
                 "window": RECENT_WINDOW,
                 "events": len(recent),

@@ -20,10 +20,12 @@ without occupying a queue worker.
 
 from __future__ import annotations
 
+import os
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.api.circuits import CircuitStore
 from repro.api.session import Session
 from repro.api.store import ResultStore
 from repro.exec.cache import CompileCache
@@ -51,7 +53,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             self._stream(response)
             return
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        # JSON is the default; a route serving another media type
+        # (GET /circuits/<digest> returns QASM text) sets its own.
+        if "Content-Type" not in response.headers:
+            self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(response.body)))
         for name, value in response.headers.items():
             self.send_header(name, value)
@@ -129,27 +134,35 @@ def build_server(
     workers: int = 2,
     quiet: bool = False,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    circuit_dir: Optional[str] = None,
 ) -> ReproHTTPServer:
     """Assemble the full serving stack on ``host:port`` (0 = ephemeral).
 
-    All jobs share one compile cache and one result store; each job gets
-    its own read-through :class:`Session` (sweeps run inline, ``jobs=1``
-    — concurrency comes from the queue's ``workers`` threads, not from
-    nested process pools).  ``workers=0`` starts no local execution
-    threads at all: every job waits for a fleet worker
-    (``python -m repro worker``) to claim it over the ``/fleet/*``
-    routes, under a lease of ``lease_ttl`` seconds.
+    All jobs share one compile cache, one result store, and one circuit
+    store (uploaded workloads; defaults to ``<store_dir>/circuits``);
+    each job gets its own read-through :class:`Session` (sweeps run
+    inline, ``jobs=1`` — concurrency comes from the queue's ``workers``
+    threads, not from nested process pools), wired to the shared circuit
+    store so jobs resolve ``circuit:<digest>`` workloads against exactly
+    what was uploaded.  ``workers=0`` starts no local execution threads
+    at all: every job waits for a fleet worker (``python -m repro
+    worker``) to claim it over the ``/fleet/*`` routes, under a lease of
+    ``lease_ttl`` seconds.
     """
     store = ResultStore(store_dir)
     cache = CompileCache(cache_dir)
+    circuits = CircuitStore(circuit_dir
+                            or os.path.join(store.path, "circuits"))
     metrics = ServeMetrics()
     jobs = JobQueue(
-        lambda: Session(jobs=1, cache=cache, store=store),
+        lambda: Session(jobs=1, cache=cache, store=store,
+                        circuits=circuits),
         workers=workers,
         metrics=metrics,
         store=store,
         lease_ttl=lease_ttl,
     )
     sweeps = SweepTable(store, jobs, metrics)
-    app = ServeApp(store=store, jobs=jobs, metrics=metrics, sweeps=sweeps)
+    app = ServeApp(store=store, jobs=jobs, metrics=metrics, sweeps=sweeps,
+                   circuits=circuits)
     return ReproHTTPServer((host, port), app, quiet=quiet)

@@ -50,6 +50,9 @@ class ServeMetrics:
         self.sweep_cells_coalesced = 0
         #: GET /sweeps/<id>/stream consumers started.
         self.sweep_streams = 0
+        #: Circuit-store traffic (POST /circuits, GET /circuits/<digest>).
+        self.circuits_uploaded = 0
+        self.circuits_served = 0
         #: Fleet protocol traffic (remote pull workers; see repro.fleet).
         self.fleet_claims = 0
         self.fleet_heartbeats = 0
@@ -97,6 +100,10 @@ class ServeMetrics:
                     "cells_queued": self.sweep_cells_queued,
                     "cells_coalesced": self.sweep_cells_coalesced,
                     "streams": self.sweep_streams,
+                },
+                "circuits": {
+                    "uploaded": self.circuits_uploaded,
+                    "served": self.circuits_served,
                 },
                 "fleet": {
                     "claims": self.fleet_claims,

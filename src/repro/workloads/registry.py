@@ -9,7 +9,7 @@ one and reports what it actually built.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.circuits.circuit import Circuit
 from repro.utils.rng import RngLike
@@ -33,6 +33,26 @@ class Benchmark:
     uses_multiqubit_gates: bool
     #: Whether the instance depends on a random seed (QAOA graphs).
     randomized: bool = False
+    #: The size-rounding lattice: requested size -> the size actually
+    #: built (``None`` means every size >= ``min_size`` is exact).  This
+    #: is the machine-checkable form of ``size_rule``.
+    realize: Optional[Callable[[int], int]] = None
+
+    def realized_size(self, num_qubits: int) -> int:
+        """The register size :meth:`circuit` will actually build.
+
+        ``Benchmark.circuit`` rounds a requested size *down* to the
+        family's nearest valid size (Cuccaro ``2n+2``, CNU ``2k``, ...);
+        this reports that rounding without building anything.
+        """
+        if num_qubits < self.min_size:
+            raise ValueError(
+                f"{self.name} needs at least {self.min_size} qubits, "
+                f"requested {num_qubits}"
+            )
+        if self.realize is None:
+            return num_qubits
+        return self.realize(num_qubits)
 
     def circuit(self, num_qubits: int, rng: RngLike = 0) -> Circuit:
         if num_qubits < self.min_size:
@@ -41,6 +61,26 @@ class Benchmark:
                 f"requested {num_qubits}"
             )
         return self.build(num_qubits, rng)
+
+    def instance(self, num_qubits: int, rng: RngLike = 0
+                 ) -> "BenchmarkInstance":
+        """Build the circuit and report the size rounding applied."""
+        return BenchmarkInstance(
+            benchmark=self.name,
+            requested_size=num_qubits,
+            realized_size=self.realized_size(num_qubits),
+            circuit=self.circuit(num_qubits, rng=rng),
+        )
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """A built benchmark circuit plus the size rounding that produced it."""
+
+    benchmark: str
+    requested_size: int
+    realized_size: int
+    circuit: Circuit
 
 
 def _build_bv(num_qubits: int, rng: RngLike) -> Circuit:
@@ -77,6 +117,7 @@ BENCHMARKS: Dict[str, Benchmark] = {
         min_size=4,
         size_rule="even sizes 2k (k controls, k-1 ancillas, 1 target)",
         uses_multiqubit_gates=True,
+        realize=lambda n: 2 * (n // 2),
     ),
     "cuccaro": Benchmark(
         name="cuccaro",
@@ -84,6 +125,7 @@ BENCHMARKS: Dict[str, Benchmark] = {
         min_size=4,
         size_rule="sizes 2n+2 (two n-bit registers, carry-in, carry-out)",
         uses_multiqubit_gates=True,
+        realize=lambda n: 2 * ((n - 2) // 2) + 2,
     ),
     "qft-adder": Benchmark(
         name="qft-adder",
@@ -91,6 +133,7 @@ BENCHMARKS: Dict[str, Benchmark] = {
         min_size=2,
         size_rule="even sizes 2n (two n-bit registers)",
         uses_multiqubit_gates=False,
+        realize=lambda n: 2 * (n // 2),
     ),
     "qaoa": Benchmark(
         name="qaoa",

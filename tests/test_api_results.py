@@ -56,6 +56,10 @@ TINY_PARAMS = {
     "ext-geometry": dict(benchmarks=("bv",), grid_side=4, mids=(2.0,)),
     "ext-noisy-validation": dict(benchmarks=("bv",), program_size=6,
                                  errors=(0.01,), shots=100),
+    "workload-metrics": dict(workload="bv", program_size=6, mids=(2.0,)),
+    "gen-qaoa": dict(nodes=5, mids=(2.0,)),
+    "gen-adder": dict(bits=2, mids=(2.0,)),
+    "gen-random": dict(num_qubits=5, num_gates=12, mids=(2.0,)),
 }
 
 

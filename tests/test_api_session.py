@@ -171,7 +171,7 @@ class TestRunExperiment:
         from repro.api import ExperimentResult, all_experiments
 
         specs = all_experiments()
-        assert len(specs) == 20
+        assert len(specs) == 24
         for name, spec in specs.items():
             assert spec.doc, name
             assert issubclass(spec.result_type, ExperimentResult), name

@@ -431,3 +431,103 @@ class TestStoreCLI:
         assert main(["store", "gc", "--max-size", "-1",
                      "--store-dir", str(tmp_path)]) == 2
         assert "--max-size" in capsys.readouterr().err
+
+
+CLI_QASM = ("OPENQASM 2.0;\n"
+            "qreg q[3];\n"
+            "h q[0];\n"
+            "cx q[0],q[1];\n"
+            "rz(0.5) q[2];\n")
+
+
+class TestCircuitsCLI:
+    def _qasm_file(self, tmp_path):
+        path = tmp_path / "prog.qasm"
+        path.write_text(CLI_QASM)
+        return str(path)
+
+    def test_add_prints_the_ref_and_is_idempotent(self, capsys, tmp_path):
+        out = _run_cli(capsys, "circuits", "add",
+                       self._qasm_file(tmp_path),
+                       "--circuit-dir", str(tmp_path / "circuits"))
+        ref = out.strip()
+        assert ref.startswith("circuit:") and len(ref) == 72
+        again = _run_cli(capsys, "circuits", "add",
+                         self._qasm_file(tmp_path),
+                         "--circuit-dir", str(tmp_path / "circuits"))
+        assert again.strip() == ref
+
+    def test_ls_and_show_round_trip(self, capsys, tmp_path):
+        from repro.circuits import from_qasm, to_qasm
+
+        ref = _run_cli(capsys, "circuits", "add",
+                       self._qasm_file(tmp_path),
+                       "--circuit-dir", str(tmp_path / "c")).strip()
+        digest = ref[len("circuit:"):]
+        listing = _run_cli(capsys, "circuits", "ls",
+                           "--circuit-dir", str(tmp_path / "c"))
+        assert ref in listing and "1 stored circuit(s)" in listing
+        # show accepts the digest, the ref spelling, and unique prefixes.
+        for spelling in (digest, ref, digest[:10]):
+            shown = _run_cli(capsys, "circuits", "show", spelling,
+                             "--circuit-dir", str(tmp_path / "c"))
+            assert shown == to_qasm(from_qasm(CLI_QASM))
+
+    def test_add_rejects_bad_qasm_with_the_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[2];\nbad q[0];\n")
+        assert main(["circuits", "add", str(path),
+                     "--circuit-dir", str(tmp_path / "c")]) == 2
+        assert "line 3" in capsys.readouterr().err
+
+    def test_show_unknown_digest_fails_cleanly(self, capsys, tmp_path):
+        assert main(["circuits", "show", "feedbeef",
+                     "--circuit-dir", str(tmp_path)]) == 2
+        assert "no stored circuit matches" in capsys.readouterr().err
+
+    def test_run_with_circuit_flag_end_to_end(self, capsys, tmp_path):
+        """`run EXP --circuit FILE` ingests the file and runs against
+        its digest; a re-run replays from the store byte-identically."""
+        cold = _run_cli(capsys, "run", "workload-metrics", "--quick",
+                        "--circuit", self._qasm_file(tmp_path),
+                        "--circuit-dir", str(tmp_path / "c"),
+                        "--store", str(tmp_path / "s"),
+                        "--no-cache", "--format", "json")
+        assert main(["run", "workload-metrics", "--quick",
+                     "--circuit", self._qasm_file(tmp_path),
+                     "--circuit-dir", str(tmp_path / "c"),
+                     "--store", str(tmp_path / "s"),
+                     "--no-cache", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold
+        assert "replayed from result store" in captured.err
+        envelope = json.loads(cold)
+        assert envelope["data"]["fields"]["workload"].startswith("circuit:")
+        assert envelope["data"]["fields"]["realized_size"] == 3
+
+    def test_run_circuit_needs_a_circuit_param(self, capsys, tmp_path):
+        assert main(["run", "validation", "--quick",
+                     "--circuit", self._qasm_file(tmp_path),
+                     "--circuit-dir", str(tmp_path / "c")]) == 2
+        err = capsys.readouterr().err
+        assert "takes no circuit parameter" in err
+
+    def test_run_circuit_rejects_all(self, capsys, tmp_path):
+        assert main(["run", "all", "--quick",
+                     "--circuit", self._qasm_file(tmp_path)]) == 2
+        assert "not 'all'" in capsys.readouterr().err
+
+    def test_store_ls_shows_the_workload_column(self, capsys, tmp_path):
+        _run_cli(capsys, "run", "workload-metrics", "--quick",
+                 "--circuit", self._qasm_file(tmp_path),
+                 "--circuit-dir", str(tmp_path / "c"),
+                 "--store", str(tmp_path / "s"), "--no-cache")
+        _run_cli(capsys, "run", "validation", "--quick",
+                 "--store", str(tmp_path / "s"), "--no-cache")
+        listing = _run_cli(capsys, "store", "ls",
+                           "--store-dir", str(tmp_path / "s"))
+        lines = listing.splitlines()
+        workload_line = next(l for l in lines if "workload-metrics" in l)
+        assert "circuit:" in workload_line and "…" in workload_line
+        validation_line = next(l for l in lines if "validation" in l)
+        assert " - " in validation_line

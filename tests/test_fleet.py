@@ -595,3 +595,126 @@ class TestWorkerCLI:
 
 
 import urllib.error  # noqa: E402  (used by TestFleetOverHTTP above)
+
+
+class TestFleetCircuitFetch:
+    """Content-addressed workloads across the fleet: a worker whose
+    local circuit store has never seen a digest fetches it from the
+    server, verifies it, caches it, and completes the job with envelope
+    bytes identical to a local run holding the same circuit."""
+
+    QASM = ("OPENQASM 2.0;\n"
+            "qreg q[4];\n"
+            "h q[0];\n"
+            "cx q[0],q[1];\n"
+            "rz(0.25) q[2];\n"
+            "cx q[2],q[3];\n")
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        srv = build_server("127.0.0.1", 0, str(tmp_path / "store"),
+                           str(tmp_path / "cache"), workers=0, quiet=True,
+                           lease_ttl=LEASE_TTL)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv
+        srv.shutdown()
+        srv.close()
+        thread.join(timeout=5)
+
+    @pytest.fixture
+    def base(self, server):
+        return f"http://127.0.0.1:{server.port}"
+
+    def _upload(self, base):
+        request = urllib.request.Request(
+            base + "/circuits", data=self.QASM.encode("utf-8"),
+            headers={"Content-Type": "text/plain; charset=utf-8"},
+            method="POST")
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())["digest"]
+
+    def _worker(self, base, tmp_path, name):
+        from repro.api.circuits import CircuitStore
+
+        circuits = CircuitStore(str(tmp_path / f"{name}-circuits"))
+
+        def session_factory():
+            return Session(jobs=1,
+                           cache_dir=str(tmp_path / f"{name}-cache"),
+                           store_dir=str(tmp_path / f"{name}-store"),
+                           circuits=circuits)
+
+        worker = FleetWorker(base, session_factory, worker_id=name,
+                             poll_interval=0.05)
+        return worker, circuits
+
+    def test_empty_store_worker_fetches_and_matches_local_run(
+            self, base, tmp_path):
+        digest = self._upload(base)
+        params = {"workload": f"circuit:{digest}", "mids": [2.0]}
+        status, headers, body = _post(base, "/run",
+                                      experiment="workload-metrics",
+                                      quick=True, params=params, wait=False)
+        assert status == 202
+        job_id = json.loads(body)["id"]
+        key = headers["X-Repro-Key"]
+
+        worker, circuits = self._worker(base, tmp_path, "w-fetch")
+        assert not circuits.has(digest)  # genuinely cold
+        assert worker.run(max_jobs=1) == 1
+
+        job = _wait_for_job(base, job_id)
+        assert job["status"] == DONE
+        # The fetched program landed in the worker's local store, byte-
+        # identical to the server's canonical text.
+        assert circuits.has(digest)
+        _, _, served_qasm = _get(base + f"/circuits/{digest}")
+        assert circuits.get_qasm(digest) == served_qasm.decode("utf-8")
+
+        # Envelope bytes == a purely local run holding the same circuit.
+        local = Session(circuit_dir=str(tmp_path / "local-circuits"))
+        assert local.circuits.add(self.QASM) == digest
+        local_result = local.run("workload-metrics", quick=True,
+                                 workload=f"circuit:{digest}", mids=(2.0,))
+        _, _, served = _get(base + f"/results/{key}")
+        from repro.api.store import canonical_json
+
+        assert served.decode("utf-8") == canonical_json(
+            local_result.to_dict())
+
+    def test_second_job_reuses_the_cached_circuit(self, base, tmp_path):
+        digest = self._upload(base)
+        worker, circuits = self._worker(base, tmp_path, "w-warm")
+        for rng in (0, 1):
+            params = {"workload": f"circuit:{digest}", "mids": [2.0],
+                      "rng": rng}
+            _post(base, "/run", experiment="workload-metrics",
+                  quick=True, params=params, wait=False)
+        assert worker.run(max_jobs=2) == 2
+        assert worker.jobs_done == 2
+        assert circuits.stats()["entries"] == 1  # fetched exactly once
+
+    def test_fetch_of_unknown_digest_is_a_runtime_error(self, base):
+        client = WorkerClient(base, "w-miss")
+        with pytest.raises(RuntimeError, match="404"):
+            client.fetch_circuit("ab" * 32)
+
+    def test_mismatched_fetch_is_refused(self, base, tmp_path,
+                                         monkeypatch):
+        """A server returning bytes that do not digest to what the job
+        named must fail the job, not execute the wrong program."""
+        digest = self._upload(base)
+        params = {"workload": f"circuit:{digest}", "mids": [2.0]}
+        _, _, body = _post(base, "/run", experiment="workload-metrics",
+                           quick=True, params=params, wait=False)
+        job_id = json.loads(body)["id"]
+
+        worker, circuits = self._worker(base, tmp_path, "w-tamper")
+        monkeypatch.setattr(
+            WorkerClient, "fetch_circuit",
+            lambda self, d: "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n")
+        assert worker.run(max_jobs=1) == 1
+        job = _wait_for_job(base, job_id)
+        assert job["status"] == FAILED
+        assert "digest" in job["error"]

@@ -448,3 +448,127 @@ class TestSessionThreadIsolation:
             thread.join(timeout=10)
         assert seen["one"] is one
         assert seen["two"] is two
+
+
+SAMPLE_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+rz(0.5) q[2];
+cx q[2],q[3];
+"""
+
+
+def _post_circuit(base_url, text):
+    request = urllib.request.Request(
+        base_url + "/circuits", data=text.encode("utf-8"),
+        headers={"Content-Type": "text/plain; charset=utf-8"},
+        method="POST")
+    with urllib.request.urlopen(request) as response:
+        return (response.status, dict(response.headers),
+                json.loads(response.read()))
+
+
+class TestCircuitsEndpoint:
+    def test_upload_is_idempotent(self, base):
+        status, headers, first = _post_circuit(base, SAMPLE_QASM)
+        assert status == 200
+        assert first["created"] is True
+        assert first["ref"] == f"circuit:{first['digest']}"
+        assert headers["X-Repro-Circuit"] == first["digest"]
+        # Same content, different comments: same address, not created.
+        _, _, again = _post_circuit(base, "// note\n" + SAMPLE_QASM)
+        assert again["digest"] == first["digest"]
+        assert again["created"] is False
+
+    def test_get_returns_canonical_text(self, base):
+        from repro.circuits import from_qasm, to_qasm
+
+        _, _, uploaded = _post_circuit(base, SAMPLE_QASM)
+        status, headers, body = _get(f"{base}/circuits/{uploaded['digest']}")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert body.decode("utf-8") == to_qasm(from_qasm(SAMPLE_QASM))
+
+    def test_listing_reports_uploads(self, base):
+        _, _, uploaded = _post_circuit(base, SAMPLE_QASM)
+        _, _, body = _get(f"{base}/circuits")
+        listing = json.loads(body)["circuits"]
+        assert uploaded["digest"] in {row["digest"] for row in listing}
+
+    def test_malformed_qasm_is_a_400_with_the_line(self, base):
+        request = urllib.request.Request(
+            base + "/circuits", data=b"OPENQASM 2.0;\nqreg q[2];\nbad q[0];",
+            method="POST")
+        error = _http_error(urllib.request.urlopen, request)
+        assert error.code == 400
+        assert "line 3" in _error_message(error)
+
+    def test_unknown_and_malformed_digest(self, base):
+        assert _http_error(urllib.request.urlopen,
+                           f"{base}/circuits/{'ab' * 32}").code == 404
+        assert _http_error(urllib.request.urlopen,
+                           f"{base}/circuits/nothex").code == 400
+
+    def test_run_against_digest_cold_then_warm(self, base):
+        """The acceptance path: POST /circuits, then POST /run naming
+        the digest — cold computes, warm replays byte-identically from
+        the store."""
+        _, _, uploaded = _post_circuit(base, SAMPLE_QASM)
+        params = {"workload": uploaded["ref"], "mids": [2.0]}
+        status, cold_headers, cold = _post_run(
+            base, experiment="workload-metrics", quick=True, params=params,
+            wait=True)
+        assert status == 200
+        assert cold_headers["X-Repro-Store"] == "miss"
+        status, warm_headers, warm = _post_run(
+            base, experiment="workload-metrics", quick=True, params=params,
+            wait=True)
+        assert warm_headers["X-Repro-Store"] == "hit"
+        assert warm == cold
+        envelope = json.loads(cold)
+        assert envelope["data"]["fields"]["workload"] == uploaded["ref"]
+        assert envelope["data"]["fields"]["realized_size"] == 4
+
+    def test_run_against_unknown_digest_is_a_400(self, base):
+        error = _http_error(
+            _post_run, base, experiment="workload-metrics", quick=True,
+            params={"workload": f"circuit:{'ab' * 32}"}, wait=True)
+        assert error.code == 400
+        assert "upload" in _error_message(error)
+
+    def test_sweep_over_uploaded_circuit_dedups_cells(self, base):
+        """A sweep whose cells name an uploaded digest expands, runs,
+        and replays against the store like any named-benchmark sweep."""
+        from repro.api import RemoteSession, SweepSpec
+
+        _, _, uploaded = _post_circuit(base, SAMPLE_QASM)
+        remote = RemoteSession(base)
+        spec = SweepSpec("workload-metrics", axes={"rng": (0, 1)},
+                         base={"workload": uploaded["ref"],
+                               "mids": (2.0,)}, quick=True)
+        first = remote.run_sweep(spec)
+        assert len(first.results) == 2
+        again = remote.run_sweep(spec)
+        assert again.to_dict() == first.to_dict()
+        assert remote.hits == 2  # the overlap replayed from the store
+
+    def test_remote_session_circuit_helpers(self, base):
+        from repro.api import RemoteSession
+        from repro.circuits import from_qasm, to_qasm
+
+        remote = RemoteSession(base)
+        digest = remote.upload_circuit(SAMPLE_QASM)
+        assert remote.circuit_qasm(digest) == to_qasm(from_qasm(SAMPLE_QASM))
+        with pytest.raises(ValueError):
+            remote.upload_circuit("OPENQASM 2.0;\nqreg q[1];\nbad q[0];")
+        with pytest.raises(KeyError):
+            remote.circuit_qasm("ab" * 32)
+
+    def test_metrics_reports_the_circuit_store(self, base):
+        _post_circuit(base, SAMPLE_QASM)
+        _, _, body = _get(f"{base}/metrics")
+        metrics = json.loads(body)
+        assert metrics["circuit_store"]["entries"] >= 1
+        assert metrics["circuits"]["uploaded"] >= 1
