@@ -24,6 +24,10 @@ Usage::
     python -m repro serve --port 8000 --store /tmp/repro-store --jobs 2
     python -m repro serve --port 8000 --store /shared/store --jobs 0
     python -m repro worker --server http://host:8000 --store /shared/store
+    python -m repro run fig3 --quick --trace-dir /tmp/repro-traces
+    python -m repro serve --port 8000 --jobs 0 --trace-dir /shared/traces
+    python -m repro trace ls --trace-dir /tmp/repro-traces
+    python -m repro trace show TRACE_ID --format json
 
 Every run executes under a :class:`repro.api.Session` built from the
 flags — no process-global execution state.  ``--format text`` (the
@@ -68,6 +72,17 @@ one-step spelling: the file is ingested and its ``circuit:<digest>``
 reference is injected as the experiment's circuit parameter (the
 experiment must declare exactly one).
 
+``--trace-dir DIR`` turns on end-to-end tracing (:mod:`repro.obs`):
+the run (or each served request chain) gets a trace id, every timed
+stage — store read/write, task fan-out, per-task compiles, shot
+kernels, queue wait, lease lifetime — lands as one span in an
+append-only JSONL store under DIR, and the id is printed to stderr as
+``[trace <id>]``.  Tracing is observability only: ``--format json``
+output is byte-identical with it on or off.  ``trace ls`` / ``trace
+show`` browse a trace directory (unique id prefixes accepted); a
+serving endpoint started with ``--trace-dir`` also answers ``GET
+/trace/<id>``.
+
 ``serve`` starts the HTTP serving layer (:mod:`repro.serve`) over a
 result store: cached results are answered from disk, misses run on a
 background job queue.  The first stderr line is machine-parseable —
@@ -105,6 +120,12 @@ DEFAULT_STORE_DIR = os.path.join("~", ".cache", "repro", "results")
 #: or the REPRO_CIRCUIT_DIR environment variable).
 DEFAULT_CIRCUIT_DIR = os.path.join("~", ".cache", "repro", "circuits")
 
+#: Default trace directory for the `trace` subcommand (override with
+#: --trace-dir or the REPRO_TRACE_DIR environment variable; `run`,
+#: `sweep`, and `serve` only record spans when --trace-dir is passed
+#: explicitly — tracing is opt-in per invocation).
+DEFAULT_TRACE_DIR = os.path.join("~", ".cache", "repro", "traces")
+
 
 def _resolve_cache_dir(cache_dir, no_cache: bool):
     if no_cache:
@@ -124,6 +145,14 @@ def _resolve_circuit_dir(circuit_dir):
     return (circuit_dir
             or os.environ.get(CIRCUIT_DIR_ENV)
             or os.path.expanduser(DEFAULT_CIRCUIT_DIR))
+
+
+def _resolve_trace_dir(trace_dir):
+    from repro.obs import TRACE_DIR_ENV
+
+    return (trace_dir
+            or os.environ.get(TRACE_DIR_ENV)
+            or os.path.expanduser(DEFAULT_TRACE_DIR))
 
 
 def _timed_run(session: Session, name: str, quick: bool,
@@ -148,6 +177,10 @@ def _timed_run(session: Session, name: str, quick: bool,
           f"in {elapsed:.1f}s"
           f"{' (quick parameters)' if quick else ''}]",
           file=sys.stderr)
+    if session.last_trace_id is not None:
+        # The handle to paste into `trace show` / GET /trace/<id>; on
+        # stderr so traced and untraced stdout stay byte-identical.
+        print(f"[trace {session.last_trace_id}]", file=sys.stderr)
     return result
 
 
@@ -185,6 +218,7 @@ def _cmd_run(args) -> int:
         cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
         store_dir=args.store,
         circuit_dir=_resolve_circuit_dir(args.circuit_dir),
+        trace_dir=args.trace_dir,
     )
     overrides = {}
     if args.circuit is not None:
@@ -306,7 +340,10 @@ def _cmd_sweep(args) -> int:
         return 2
 
     if args.server is not None:
-        session = RemoteSession(args.server)
+        # With tracing requested, spans buffer client-side and export to
+        # the server's trace store (POST /trace) — there is no local dir.
+        session = RemoteSession(args.server,
+                                trace=args.trace_dir is not None)
     else:
         if args.jobs < 1:
             print("--jobs must be >= 1", file=sys.stderr)
@@ -316,19 +353,28 @@ def _cmd_sweep(args) -> int:
             cache_dir=_resolve_cache_dir(args.cache_dir, args.no_cache),
             store_dir=args.store,
             circuit_dir=_resolve_circuit_dir(args.circuit_dir),
+            trace_dir=args.trace_dir,
         )
+    from repro.obs import trace as _obs
+
     hits_before = session.hits
     start = time.perf_counter()
     pairs = []
     try:
         # Local or remote, the SessionProtocol surface is the same:
         # iterate cells as they complete, diagnostics to stderr only.
-        for cell, result in session.iter_sweep(spec, force=args.force):
-            pairs.append((cell, result))
-            params = ", ".join(f"{name}={value!r}"
-                               for name, value in cell.params.items())
-            print(f"[cell {len(pairs)}/{len(spec)} "
-                  f"{spec.experiment}[{params}] done]", file=sys.stderr)
+        # One sweep-level root span ties every local cell to a single
+        # trace id (a RemoteSession mints its own in iter_sweep).
+        with _obs.root_span(getattr(session, "tracer", None),
+                            "session.sweep", service="session",
+                            experiment=spec.experiment, cells=len(spec),
+                            quick=bool(spec.quick)):
+            for cell, result in session.iter_sweep(spec, force=args.force):
+                pairs.append((cell, result))
+                params = ", ".join(f"{name}={value!r}"
+                                   for name, value in cell.params.items())
+                print(f"[cell {len(pairs)}/{len(spec)} "
+                      f"{spec.experiment}[{params}] done]", file=sys.stderr)
     except RemoteRunError as error:
         print(f"sweep failed: {error}", file=sys.stderr)
         return 1
@@ -346,6 +392,9 @@ def _cmd_sweep(args) -> int:
           f"{len(spec) - replayed} computed"
           f"{' (quick parameters)' if args.quick else ''}]",
           file=sys.stderr)
+    trace_id = getattr(session, "last_trace_id", None)
+    if trace_id is not None:
+        print(f"[trace {trace_id}]", file=sys.stderr)
     payload = (canonical_json(sweep_result.to_dict())
                if args.format == "json" else sweep_result.format())
     try:
@@ -498,9 +547,14 @@ def _cmd_store(args) -> int:
         events = store.tail(args.last)
         for event in events:
             outcome = "hit " if event.get("hit") else "miss"
+            trace = event.get("trace")
+            # Traced runs stamp their ledger row; the short prefix here
+            # pastes straight into `trace show` (prefixes resolve).
+            trace_column = (f"  trace {trace[:12]}"
+                            if isinstance(trace, str) and trace else "")
             print(f"{outcome}  {event.get('experiment', '?'):22s} "
                   f"{str(event.get('key', '?'))[:16]}  "
-                  f"{event.get('wall_s', 0.0):8.3f}s")
+                  f"{event.get('wall_s', 0.0):8.3f}s{trace_column}")
         print(f"last {len(events)} run(s) recorded in {store.ledger_path()}")
         return 0
 
@@ -560,6 +614,77 @@ def _cmd_store(args) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
+def _span_depths(spans):
+    """Tree depth per span id, for the indented ``trace show`` view.
+    Orphaned parents (spans recorded elsewhere and never exported) and
+    cycles (corrupt files) both land safely at their last known depth."""
+    by_id = {span.get("span"): span for span in spans}
+    depths = {}
+    for span in spans:
+        depth, parent, seen = 0, span.get("parent"), set()
+        while parent in by_id and parent not in seen:
+            seen.add(parent)
+            depth += 1
+            parent = by_id[parent].get("parent")
+        depths[span.get("span")] = depth
+    return depths
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import TraceStore
+
+    traces = TraceStore(_resolve_trace_dir(args.trace_dir))
+
+    if args.trace_command == "ls":
+        rows = traces.traces()
+        for trace_id, _, _ in rows:
+            spans = traces.read(trace_id)
+            root = next((span for span in spans
+                         if span.get("parent") is None), None)
+            label = root.get("name", "?") if root is not None else "?"
+            services = sorted({span.get("service", "?") for span in spans})
+            print(f"{trace_id}  {len(spans):4d} span(s)  {label:14s} "
+                  f"[{', '.join(services)}]")
+        stats = traces.stats()
+        print(f"{stats['traces']} recorded trace(s), "
+              f"{stats['total_bytes'] / 1e3:.1f} kB in {stats['path']}")
+        return 0
+
+    if args.trace_command == "show":
+        prefix = args.id.strip()
+        try:
+            trace_id = traces.resolve(prefix)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if trace_id is None:
+            print(f"no recorded trace matches {args.id!r} in {traces.path}",
+                  file=sys.stderr)
+            return 2
+        spans = traces.read(trace_id)
+        if args.format == "json":
+            # The same shape GET /trace/<id> serves, canonical bytes.
+            sys.stdout.write(canonical_json({
+                "trace": trace_id,
+                "count": len(spans),
+                "spans": spans,
+            }))
+            return 0
+        print(f"trace {trace_id}  {len(spans)} span(s)")
+        depths = _span_depths(spans)
+        for span in spans:
+            attrs = span.get("attrs") or {}
+            attr_text = " ".join(f"{name}={value!r}" for name, value
+                                 in sorted(attrs.items()))
+            print(f"{'  ' * depths.get(span.get('span'), 0)}"
+                  f"{span.get('name', '?')}  "
+                  f"[{span.get('service', '?')}]  "
+                  f"{float(span.get('duration_s', 0.0)) * 1e3:10.3f} ms"
+                  f"{'  ' + attr_text if attr_text else ''}")
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 def _install_service_signal_handlers() -> None:
     """SIGINT/SIGTERM → KeyboardInterrupt for long-lived commands.
 
@@ -602,6 +727,7 @@ def _cmd_serve(args) -> int:
             quiet=args.quiet,
             lease_ttl=args.lease_ttl,
             circuit_dir=args.circuit_dir,
+            trace_dir=args.trace_dir,
         )
     except OSError as error:
         # Port in use, privileged port, unresolvable host: one stderr
@@ -622,7 +748,8 @@ def _cmd_serve(args) -> int:
           "endpoints: /experiments /results/<key> /run /jobs/<id> "
           "/sweeps[/<id>[/stream]] /circuits[/<digest>] "
           "/metrics /healthz "
-          "/fleet/claim|heartbeat|complete; "
+          "/fleet/claim|heartbeat|complete"
+          f"{' /trace[/<id>]' if args.trace_dir is not None else ''}; "
           "stop with Ctrl-C]", file=sys.stderr)
     try:
         server.serve_forever()
@@ -764,6 +891,12 @@ def main(argv=None) -> int:
         help="content-addressed circuit-store directory (default: "
              "$REPRO_CIRCUIT_DIR, else ~/.cache/repro/circuits)",
     )
+    run_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record an end-to-end trace of this run into DIR "
+             "(append-only JSONL; browse with `trace show`); stdout "
+             "stays byte-identical with tracing on or off",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a parameter grid over one experiment")
@@ -828,6 +961,12 @@ def main(argv=None) -> int:
         help="circuit-store directory circuit:<digest> references "
              "resolve from (local runs only; default: "
              "$REPRO_CIRCUIT_DIR, else ~/.cache/repro/circuits)",
+    )
+    sweep_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record one end-to-end trace of the sweep into DIR; with "
+             "--server, spans export to the server's trace store "
+             "instead (POST /trace) and DIR is not written",
     )
 
     cache_parser = subparsers.add_parser(
@@ -963,6 +1102,37 @@ def main(argv=None) -> int:
         help="circuit-store directory uploads land in and digest "
              "references resolve from (default: <store>/circuits)",
     )
+    serve_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable end-to-end tracing: request/queue/execution spans "
+             "(and spans exported by clients and fleet workers) land "
+             "in DIR, browsable via GET /trace/<id> and `trace show`",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="browse recorded traces (see repro.obs)")
+    trace_dir_parent = argparse.ArgumentParser(add_help=False)
+    trace_dir_parent.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace directory (default: $REPRO_TRACE_DIR, else "
+             "~/.cache/repro/traces)",
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True)
+    trace_sub.add_parser(
+        "ls", parents=[trace_dir_parent],
+        help="list recorded traces (id, span count, root span)")
+    trace_show = trace_sub.add_parser(
+        "show", parents=[trace_dir_parent],
+        help="print one trace's spans as an indented tree "
+             "(unique id prefixes accepted)")
+    trace_show.add_argument(
+        "id", help="trace id, or a unique prefix of one")
+    trace_show.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text: indented span tree (default); json: the same "
+             "payload GET /trace/<id> serves",
+    )
 
     worker_parser = subparsers.add_parser(
         "worker",
@@ -1036,6 +1206,8 @@ def main(argv=None) -> int:
             return _cmd_circuits(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "worker":

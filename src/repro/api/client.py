@@ -38,10 +38,12 @@ import json
 import time
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.api.results import ExperimentResult
 from repro.api.sweep import SweepCell, SweepResult, SweepSpec
+from repro.obs import trace as _obs
 
 #: Seconds to back off before the single idempotent-GET retry.
 RETRY_BACKOFF_S = 0.2
@@ -78,9 +80,22 @@ def _decode_error(error: urllib.error.HTTPError) -> tuple:
 
 
 class RemoteSession:
-    """Run registered experiments against a remote serving endpoint."""
+    """Run registered experiments against a remote serving endpoint.
 
-    def __init__(self, base_url: str, timeout: Optional[float] = None):
+    ``trace=True`` turns on end-to-end tracing (see :mod:`repro.obs`):
+    every :meth:`run` / :meth:`iter_sweep` mints a fresh trace id,
+    propagates it to the server in the ``X-Repro-Trace`` header (joining
+    the server's routing, queue, and worker spans to the same trace),
+    records the client's own spans, and exports them to the server's
+    trace store via ``POST /trace`` — so one ``GET /trace/<id>`` shows
+    the whole distributed operation.  :attr:`last_trace_id` names the
+    most recent trace.  Tracing never changes result bytes (the
+    zero-perturbation contract) and export failures are dropped, never
+    raised.
+    """
+
+    def __init__(self, base_url: str, timeout: Optional[float] = None,
+                 trace: bool = False):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         #: Server-reported outcome counters for this client's run()
@@ -88,19 +103,59 @@ class RemoteSession:
         #: ``misses`` on a local read-through session.
         self.hits = 0
         self.misses = 0
+        self._tracer = (_obs.Tracer(_obs.SpanBuffer(), service="client")
+                        if trace else None)
+        #: Trace id of the most recent traced operation (or ``None``).
+        self.last_trace_id: Optional[str] = None
 
     # -- transport ---------------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None):
         body = None if payload is None else json.dumps(payload).encode()
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        response = urllib.request.urlopen(request, timeout=self.timeout)
-        with response:
-            return response, json.loads(response.read().decode("utf-8"))
+        headers = {"Content-Type": "application/json"}
+        with _obs.span("client.request", method=method,
+                       path=path) as request_span:
+            active = _obs.current()
+            if active is not None and active.span_id is not None:
+                headers[_obs.TRACE_HEADER] = _obs.format_trace_header(
+                    active.trace_id, active.span_id)
+            request = urllib.request.Request(
+                self.base_url + path, data=body, method=method,
+                headers=headers,
+            )
+            response = urllib.request.urlopen(request,
+                                              timeout=self.timeout)
+            with response:
+                request_span.set(status=response.status)
+                return response, json.loads(
+                    response.read().decode("utf-8"))
+
+    @contextmanager
+    def _traced(self, name: str, **attrs):
+        """Mint one trace around an operation and export its spans."""
+        if self._tracer is None:
+            yield
+            return
+        trace_id = _obs.new_trace_id()
+        self.last_trace_id = trace_id
+        try:
+            with _obs.activate(self._tracer, trace_id):
+                with _obs.span(name, **attrs):
+                    yield
+        finally:
+            self._export_spans()
+
+    def _export_spans(self) -> None:
+        """Ship buffered spans to the server (best effort: a failed
+        export loses observability, never the operation)."""
+        spans = self._tracer.sink.drain()
+        if not spans:
+            return
+        try:
+            self._request("POST", "/trace", {"spans": spans})
+        except Exception:
+            pass
 
     def _get(self, path: str) -> Dict[str, Any]:
         """One GET, retried once on a *transient* transport failure.
@@ -132,21 +187,23 @@ class RemoteSession:
         parameters, and :class:`RemoteRunError` when the server-side
         execution itself failed.
         """
-        try:
-            response, envelope = self._request("POST", "/run", {
-                "experiment": experiment,
-                "quick": quick,
-                "force": force,
-                "params": params,
-                "wait": True,
-            })
-        except urllib.error.HTTPError as error:
-            _raise_mapped(error)
-        if response.headers.get("X-Repro-Store") == "hit":
-            self.hits += 1
-        else:
-            self.misses += 1
-        return ExperimentResult.from_dict(envelope)
+        with self._traced("client.run", experiment=experiment,
+                          quick=bool(quick)):
+            try:
+                response, envelope = self._request("POST", "/run", {
+                    "experiment": experiment,
+                    "quick": quick,
+                    "force": force,
+                    "params": params,
+                    "wait": True,
+                })
+            except urllib.error.HTTPError as error:
+                _raise_mapped(error)
+            if response.headers.get("X-Repro-Store") == "hit":
+                self.hits += 1
+            else:
+                self.misses += 1
+            return ExperimentResult.from_dict(envelope)
 
     def iter_sweep(
         self, spec: SweepSpec, force: bool = False,
@@ -163,12 +220,14 @@ class RemoteSession:
         (``KeyError``/``TypeError``/``ValueError``) surface from the
         submission request exactly like :meth:`run`.
         """
-        try:
-            _, description = self._request("POST", "/sweeps",
-                                           {**spec.to_dict(),
-                                            "force": bool(force)})
-        except urllib.error.HTTPError as error:
-            _raise_mapped(error)
+        with self._traced("client.sweep", experiment=spec.experiment,
+                          quick=bool(spec.quick)):
+            try:
+                _, description = self._request("POST", "/sweeps",
+                                               {**spec.to_dict(),
+                                                "force": bool(force)})
+            except urllib.error.HTTPError as error:
+                _raise_mapped(error)
         cells = spec.cells()
         stream_path = (description.get("stream_url")
                        or f"/sweeps/{description['id']}/stream")

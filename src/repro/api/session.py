@@ -32,6 +32,7 @@ from typing import Callable, Iterable, List, Optional
 from repro.api.circuits import CIRCUIT_DIR_ENV, CircuitStore
 from repro.api.store import ResultStore
 from repro.exec.cache import CACHE_DIR_ENV, CompileCache
+from repro.obs import trace as _obs
 
 _CURRENT: ContextVar[Optional["Session"]] = ContextVar(
     "repro_current_session", default=None
@@ -71,6 +72,14 @@ class Session:
         through.  Defaults to ``$REPRO_CIRCUIT_DIR`` or
         ``~/.cache/repro/circuits`` (nothing touches disk until a
         circuit is actually added or resolved).
+    ``tracer`` / ``trace_dir``
+        Optional tracing (see :mod:`repro.obs`): a directory makes every
+        :meth:`run` record its spans — session, store read/write, task
+        fan-out, per-task compile and shots — into an append-only JSONL
+        trace under it; :attr:`last_trace_id` names the most recent one.
+        ``None`` (the default) records nothing and costs nothing.
+        Tracing never feeds keys, seeds, or envelopes (the
+        zero-perturbation contract).
     """
 
     def __init__(
@@ -84,6 +93,8 @@ class Session:
         backend=None,
         circuit_dir: Optional[str] = None,
         circuits: Optional[CircuitStore] = None,
+        trace_dir: Optional[str] = None,
+        tracer: Optional[_obs.Tracer] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -93,6 +104,8 @@ class Session:
             raise ValueError("pass store or store_dir, not both")
         if circuits is not None and circuit_dir is not None:
             raise ValueError("pass circuits or circuit_dir, not both")
+        if tracer is not None and trace_dir is not None:
+            raise ValueError("pass tracer or trace_dir, not both")
         if backend is not None and not callable(getattr(backend, "run",
                                                         None)):
             raise TypeError(
@@ -111,6 +124,14 @@ class Session:
                                                ".cache", "repro", "circuits"))
             circuits = CircuitStore(circuit_dir)
         self.circuits = circuits
+        if tracer is None and trace_dir is not None:
+            from repro.obs import TraceStore
+
+            tracer = _obs.Tracer(TraceStore(trace_dir), service="session")
+        self.tracer = tracer
+        #: Trace id of the most recent traced :meth:`run` (``None``
+        #: until one happens, or when tracing is off).
+        self.last_trace_id: Optional[str] = None
         #: Sweep tasks dispatched under this session (parent-side count,
         #: any worker level) — zero across a pure store replay.
         self.tasks_executed = 0
@@ -169,40 +190,52 @@ class Session:
             and any(p.name == "rng" for p in spec.params)
         ):
             params["rng"] = self.seed
-        if self.store is None:
+        with _obs.root_span(self.tracer, "session.run", service="session",
+                            experiment=spec.name,
+                            quick=bool(quick)) as run_span:
+            if run_span.trace_id is not None:
+                self.last_trace_id = run_span.trace_id
+            if self.store is None:
+                with self.activate():
+                    return spec.run(quick=quick, **params)
+
+            from repro.api.results import ExperimentResult
+            from repro.api.store import store_key
+
+            key = store_key(
+                spec.name, spec.resolved_params(quick=quick,
+                                                overrides=params)
+            )
+            start = time.perf_counter()
+            if not force:
+                with _obs.span("store.read", key=key[:16]) as read_span:
+                    envelope = self.store.get(key)
+                    read_span.set(hit=envelope is not None)
+                if envelope is not None:
+                    try:
+                        result = ExperimentResult.from_dict(envelope)
+                    except (TypeError, ValueError):
+                        # A stale or corrupt entry (e.g. written before a
+                        # schema bump) degrades to a miss and is
+                        # overwritten below.
+                        pass
+                    else:
+                        run_span.set(store="hit")
+                        self.store.record(
+                            key, spec.name, time.perf_counter() - start,
+                            hit=True, trace=run_span.trace_id,
+                        )
+                        return result
             with self.activate():
-                return spec.run(quick=quick, **params)
-
-        from repro.api.results import ExperimentResult
-        from repro.api.store import store_key
-
-        key = store_key(
-            spec.name, spec.resolved_params(quick=quick, overrides=params)
-        )
-        start = time.perf_counter()
-        if not force:
-            envelope = self.store.get(key)
-            if envelope is not None:
-                try:
-                    result = ExperimentResult.from_dict(envelope)
-                except (TypeError, ValueError):
-                    # A stale or corrupt entry (e.g. written before a
-                    # schema bump) degrades to a miss and is overwritten
-                    # below.
-                    pass
-                else:
-                    self.store.record(
-                        key, spec.name, time.perf_counter() - start,
-                        hit=True,
-                    )
-                    return result
-        with self.activate():
-            result = spec.run(quick=quick, **params)
-        self.store.put(key, result.to_dict())
-        self.store.record(
-            key, spec.name, time.perf_counter() - start, hit=False
-        )
-        return result
+                result = spec.run(quick=quick, **params)
+            run_span.set(store="miss")
+            with _obs.span("store.write", key=key[:16]):
+                self.store.put(key, result.to_dict())
+            self.store.record(
+                key, spec.name, time.perf_counter() - start, hit=False,
+                trace=run_span.trace_id,
+            )
+            return result
 
     # -- sweeps ------------------------------------------------------------------------
 

@@ -22,7 +22,8 @@ Layout on disk mirrors the compile cache: sharded
 ``<key[:2]>/<key>.json`` entry files written atomically (temp file +
 ``os.replace``), plus an append-only run ledger ``ledger.jsonl`` — one
 ``{"timestamp", "experiment", "key", "hit", "wall_s"}`` line per
-``Session.run`` through the store — for trend inspection.
+``Session.run`` through the store (plus a ``"trace"`` id when tracing
+was active) — for trend inspection.
 :meth:`ResultStore.gc` bounds the directory with the same LRU-by-mtime
 policy (path tie-break included) as ``CompileCache.prune_disk``; entry
 reads touch mtimes so replayed results stay resident.
@@ -225,8 +226,14 @@ class ResultStore:
         return os.path.join(self.path, LEDGER_NAME)
 
     def record(self, key: str, experiment: str, wall_s: float,
-               hit: bool) -> None:
-        """Append one run event to the ledger (and the counters)."""
+               hit: bool, trace: Optional[str] = None) -> None:
+        """Append one run event to the ledger (and the counters).
+
+        ``trace`` is the trace id of the run that produced the event,
+        when tracing was on — it links a stored envelope back to its
+        spans (``store ls --last`` shows it, ``repro trace show``
+        expands it).  Observability only: never part of the store key.
+        """
         if hit:
             self.hits += 1
         else:
@@ -238,6 +245,8 @@ class ResultStore:
             "hit": bool(hit),
             "wall_s": round(wall_s, 4),
         }
+        if trace is not None:
+            entry["trace"] = trace
         try:
             os.makedirs(self.path, exist_ok=True)
             with open(self.ledger_path(), "a", encoding="utf-8") as handle:

@@ -298,12 +298,21 @@ def cached_compile(
         # compilations share one key.
         config = config.with_mid(topology.max_interaction_distance)
 
+    from repro.obs import trace as _trace
+
     if cache is None:
         cache = get_cache()
     key = compile_key(circuit, topology, config)
-    program = cache.lookup(key)
-    if program is None:
-        program = compile_circuit(circuit, topology, config)
-        if persist:
-            cache.store(key, program)
+    with _trace.span("compile", key=key[:16]) as compile_span:
+        memory_before, disk_before = cache.memory_hits, cache.disk_hits
+        program = cache.lookup(key)
+        if program is None:
+            compile_span.set(cache="miss")
+            program = compile_circuit(circuit, topology, config)
+            if persist:
+                cache.store(key, program)
+        elif cache.memory_hits > memory_before:
+            compile_span.set(cache="memory")
+        elif cache.disk_hits > disk_before:
+            compile_span.set(cache="disk")
     return program

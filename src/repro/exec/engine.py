@@ -98,7 +98,8 @@ def sweep_settings(jobs: Optional[int] = None,
 
 
 def _worker_init(cache_dir: Optional[str],
-                 circuit_dir: Optional[str] = None) -> None:
+                 circuit_dir: Optional[str] = None,
+                 trace: Optional[tuple] = None) -> None:
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  Workers must not also raise KeyboardInterrupt mid-task
     # (half-written state, a traceback storm, and a pool that can hang
@@ -116,6 +117,17 @@ def _worker_init(cache_dir: Optional[str],
 
     install_default(Session(jobs=1, cache_dir=cache_dir,
                             circuit_dir=circuit_dir))
+
+    # Re-establish the parent's trace context: ContextVars do not cross
+    # the spawn boundary, so the parent ships (sink dir, trace id,
+    # parent span id) explicitly and the worker appends spans to the
+    # same on-disk trace for its whole lifetime.
+    if trace is not None:
+        from repro.obs import Tracer, TraceStore, install
+
+        sink_path, trace_id, parent_span = trace
+        install(Tracer(TraceStore(sink_path), service="task"),
+                trace_id, parent_span)
 
 
 def _reclaim_interrupted_temp_files(cache) -> None:
@@ -200,12 +212,25 @@ class SpawnPoolBackend(ExecBackend):
         if jobs == 1:
             return INLINE.run(task_fn, tasks, session)
 
+        from repro.obs import trace as _trace
+
+        # Trace context crosses the spawn boundary only when the sink is
+        # a directory workers can append to themselves (an in-memory
+        # buffer in the parent is unreachable from another process).
+        worker_trace = None
+        active = _trace.current()
+        if active is not None:
+            sink_path = getattr(active.tracer.sink, "path", None)
+            if sink_path is not None:
+                worker_trace = (sink_path, active.trace_id, active.span_id)
+
         context = multiprocessing.get_context("spawn")
         pool = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(session.cache.path, session.circuits.path),
+            initargs=(session.cache.path, session.circuits.path,
+                      worker_trace),
         )
         try:
             futures = [pool.submit(task_fn, task) for task in tasks]
@@ -260,6 +285,7 @@ def run_tasks(
     directory workers share.
     """
     from repro.api.session import current_session
+    from repro.obs import trace as _trace
 
     if session is None:
         session = current_session()
@@ -267,4 +293,6 @@ def run_tasks(
     # Parent-side dispatch counter: a store-replayed experiment must be
     # able to prove it executed zero tasks.
     session.tasks_executed += len(tasks)
-    return resolve_backend(session, jobs).run(task_fn, tasks, session)
+    backend = resolve_backend(session, jobs)
+    with _trace.span("tasks", backend=backend.name, count=len(tasks)):
+        return backend.run(task_fn, tasks, session)

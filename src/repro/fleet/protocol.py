@@ -73,7 +73,7 @@ def describe_claim(job, lease_ttl: float) -> Dict[str, Any]:
     read-through session lands on the identical store key the server
     computed — one canonicalization, two processes, zero drift.
     """
-    return {
+    payload = {
         "id": job.id,
         "experiment": job.experiment,
         "key": job.key,
@@ -84,3 +84,9 @@ def describe_claim(job, lease_ttl: float) -> Dict[str, Any]:
         "lease_ttl_s": float(lease_ttl),
         "heartbeat_interval_s": heartbeat_interval(lease_ttl),
     }
+    # Trace context rides the claim so the worker's spans join the
+    # submitting request's trace (exported back via POST /trace).
+    trace = getattr(job, "trace", None)
+    if trace is not None:
+        payload["trace"] = {"id": trace[0], "parent": trace[1]}
+    return payload

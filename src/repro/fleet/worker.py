@@ -39,6 +39,7 @@ from repro.fleet.protocol import (
     HEARTBEAT_PATH,
 )
 from repro.fleet.leases import LeaseLost
+from repro.obs import trace as _obs
 
 
 def default_worker_id(slot: Optional[int] = None) -> str:
@@ -109,6 +110,13 @@ class WorkerClient:
         decoded = self._post(HEARTBEAT_PATH,
                              {"worker": self.worker_id, "job": job_id})
         return float(decoded["expires_in_s"])
+
+    def export_spans(self, spans: list) -> Dict[str, Any]:
+        """Ship locally-buffered span records to the server's trace
+        store (``POST /trace``), so a distributed job's worker stages
+        appear in the same ``GET /trace/<id>`` as the server's."""
+        return self._post("/trace", {"worker": self.worker_id,
+                                     "spans": spans})
 
     def complete(self, job_id: str, envelope: Optional[Dict[str, Any]] = None,
                  error: Optional[str] = None,
@@ -220,6 +228,22 @@ class FleetWorker:
                     f"{stored[:16]}… for requested {digest[:16]}…")
             self._log(f"fetched circuit {digest[:16]}…")
 
+    def _export_spans(self, tracer: Optional[_obs.Tracer],
+                      trace_id: Optional[str]) -> None:
+        """Best-effort span export: a failure drops observability, never
+        the job outcome."""
+        if tracer is None:
+            return
+        spans = tracer.sink.drain()
+        if not spans:
+            return
+        try:
+            self.client.export_spans(spans)
+        except (urllib.error.URLError, TimeoutError, ConnectionError,
+                RuntimeError) as error:
+            self._log(f"span export for trace {trace_id[:16]}… failed "
+                      f"({error}); dropped {len(spans)} spans")
+
     def _execute(self, claimed: Dict[str, Any]) -> bool:
         """Run one claimed job; ``True`` when an outcome was reported."""
         job_id = claimed["id"]
@@ -256,23 +280,53 @@ class FleetWorker:
                 return False
         session = None
         envelope = error_text = None
+        # The claim may carry trace context; worker spans are buffered
+        # locally and exported to the server's trace store afterwards —
+        # there is no shared filesystem to assume.
+        trace_ctx = claimed.get("trace")
+        trace_id = (trace_ctx.get("id")
+                    if isinstance(trace_ctx, dict) else None)
+        tracer = (_obs.Tracer(_obs.SpanBuffer(), service="worker")
+                  if _obs.is_trace_id(trace_id) else None)
+
+        def execute_job() -> None:
+            nonlocal session, envelope, error_text
+            try:
+                session = self._session_factory()
+                self._prefetch_circuits(session, claimed)
+                result = session.run(claimed["experiment"],
+                                     quick=bool(claimed.get("quick")),
+                                     force=bool(claimed.get("force")),
+                                     **claimed.get("params", {}))
+                envelope = result.to_dict()
+            except Exception as error:
+                # Report, don't die: workers are cattle.
+                # (KeyboardInterrupt propagates: the unreleased lease
+                # simply expires and the job re-runs elsewhere.)
+                error_text = f"{type(error).__name__}: {error}"
+
         start = time.perf_counter()
         try:
-            session = self._session_factory()
-            self._prefetch_circuits(session, claimed)
-            result = session.run(claimed["experiment"],
-                                 quick=bool(claimed.get("quick")),
-                                 force=bool(claimed.get("force")),
-                                 **claimed.get("params", {}))
-            envelope = result.to_dict()
-        except Exception as error:  # report, don't die: workers are cattle
-            # (KeyboardInterrupt propagates: the unreleased lease simply
-            # expires and the job re-runs elsewhere.)
-            error_text = f"{type(error).__name__}: {error}"
+            if tracer is not None:
+                with _obs.activate(tracer, trace_id,
+                                   trace_ctx.get("parent")):
+                    with _obs.span("worker.execute",
+                                   worker=self.worker_id,
+                                   job_id=job_id,
+                                   attempt=claimed.get("attempt",
+                                                       1)) as handle:
+                        execute_job()
+                        handle.set(
+                            status="failed" if error_text else "done")
+            else:
+                execute_job()
         finally:
             wall_s = time.perf_counter() - start
             done.set()
             heartbeat_thread.join(timeout=5)
+            # Export whatever was recorded on every outcome — even a
+            # lost lease leaves a true record of what this worker did.
+            self._export_spans(tracer, trace_id)
         if lost.is_set():
             self.jobs_lost += 1
             self._log(f"lease lost on job {job_id}; discarding result")

@@ -257,24 +257,27 @@ def run_shot_spec(spec: ShotSpec) -> RunResult:
     """Execute one :class:`ShotSpec` (module-level: usable as an engine
     task function from spawn-based workers)."""
     from repro.loss.strategies import make_strategy
+    from repro.obs import trace as _trace
     from repro.workloads.ref import resolve_circuit
 
-    noise = spec.noise or NoiseModel.neutral_atom()
-    runner = ShotRunner(
-        make_strategy(spec.strategy, noise=noise),
-        resolve_circuit(spec.benchmark, spec.program_size),
-        Topology.square(spec.grid_side, spec.mid),
-        config=CompilerConfig(max_interaction_distance=spec.mid),
-        noise=noise,
-        loss_model=spec.loss_model,
-        timing=spec.timing,
-        rng=spec.seed,
-    )
-    return runner.run(
-        max_shots=spec.max_shots,
-        target_successful=spec.target_successful,
-        include_compile_event=spec.include_compile_event,
-    )
+    with _trace.span("shots", strategy=spec.strategy,
+                     benchmark=spec.benchmark, size=spec.program_size):
+        noise = spec.noise or NoiseModel.neutral_atom()
+        runner = ShotRunner(
+            make_strategy(spec.strategy, noise=noise),
+            resolve_circuit(spec.benchmark, spec.program_size),
+            Topology.square(spec.grid_side, spec.mid),
+            config=CompilerConfig(max_interaction_distance=spec.mid),
+            noise=noise,
+            loss_model=spec.loss_model,
+            timing=spec.timing,
+            rng=spec.seed,
+        )
+        return runner.run(
+            max_shots=spec.max_shots,
+            target_successful=spec.target_successful,
+            include_compile_event=spec.include_compile_event,
+        )
 
 
 def run_shot_specs(specs, jobs: Optional[int] = None) -> List[RunResult]:

@@ -1,0 +1,89 @@
+"""Fixed-bucket latency histograms for the serving metrics.
+
+Prometheus-shaped: a histogram is a set of cumulative-on-render bucket
+counters with fixed upper bounds, plus a running sum and count.  Fixed
+buckets (vs. quantile sketches) keep observation O(log buckets) with no
+allocation, merge trivially across scrapes, and render directly into
+the text exposition format.
+
+Instances are **not** self-locking — :class:`~repro.serve.metrics.
+ServeMetrics` mutates them under its own lock so one snapshot stays
+internally consistent with the counters taken beside it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Sequence, Tuple
+
+#: Upper bounds (seconds) spanning the stack's latency range: sub-ms
+#: store hits through multi-second compile+shot cells up to minute-long
+#: quick-suite sweeps.  The implicit +Inf bucket catches the rest.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """One fixed-bucket histogram: per-bucket counts, sum, and count."""
+
+    __slots__ = ("bounds", "counts", "overflow", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        #: Observations above the largest bound (the +Inf bucket).
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds).  Negative values clamp to
+        zero — clock skew must not corrupt the distribution."""
+        value = max(0.0, float(value))
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.counts[index] += 1
+        else:
+            self.overflow += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> Tuple[Tuple[float, int], ...]:
+        """``(upper_bound, cumulative_count)`` per bucket, ascending —
+        the ``le``-labelled series Prometheus expects (excluding the
+        ``+Inf`` bucket, whose cumulative count is :attr:`count`)."""
+        running = 0
+        rows = []
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            rows.append((bound, running))
+        return tuple(rows)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly summary for the ``/metrics`` JSON payload."""
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "buckets": {_format_bound(bound): cum
+                        for bound, cum in self.cumulative()},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
+
+
+def _format_bound(bound: float) -> str:
+    """A bucket bound as Prometheus spells it: shortest exact decimal
+    (``0.005``, ``1``, ``30``) — never scientific notation."""
+    text = repr(bound)
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text

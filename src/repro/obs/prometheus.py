@@ -1,0 +1,209 @@
+"""Prometheus text exposition — render and strictly validate.
+
+Implements the subset of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ the
+serving layer emits: ``counter``, ``gauge``, and ``histogram``
+families, each as ``# HELP`` / ``# TYPE`` comments followed by samples.
+Histograms render the cumulative ``_bucket{le="..."}`` series (always
+ending in ``le="+Inf"``) plus ``_sum`` and ``_count``.
+
+:func:`validate_exposition` is the other half: a strict line-format
+checker used both by the test suite and the CI observability gate, so
+"renders something Prometheus-shaped" is a pinned contract rather than
+an eyeballed one.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, _format_bound
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value per the exposition format."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def format_value(value) -> str:
+    """A sample value: integers stay integral, floats keep full
+    precision via ``repr``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def sample_line(name: str, labels: Optional[Mapping[str, str]],
+                value) -> str:
+    """One ``name{labels} value`` sample line."""
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    label_text = ""
+    if labels:
+        pairs = []
+        for label, label_value in sorted(labels.items()):
+            if not _LABEL_NAME_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+            pairs.append(f'{label}="{escape_label_value(label_value)}"')
+        label_text = "{" + ",".join(pairs) + "}"
+    return f"{name}{label_text} {format_value(value)}"
+
+
+def family(name: str, kind: str, help_text: str,
+           samples: Sequence[Tuple[Optional[Mapping[str, str]], object]]
+           ) -> List[str]:
+    """One metric family: HELP + TYPE comments, then its samples."""
+    if kind not in _VALID_TYPES:
+        raise ValueError(f"invalid metric type {kind!r}")
+    lines = [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} {kind}",
+    ]
+    for labels, value in samples:
+        lines.append(sample_line(name, labels, value))
+    return lines
+
+
+def histogram_family(
+    name: str, help_text: str,
+    items: Sequence[Tuple[Optional[Mapping[str, str]], Histogram]],
+) -> List[str]:
+    """One histogram family: per-item cumulative buckets (ending in the
+    mandatory ``le="+Inf"``), ``_sum``, and ``_count`` series."""
+    lines = [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} histogram",
+    ]
+    for labels, histogram in items:
+        base = dict(labels) if labels else {}
+        for bound, cumulative in histogram.cumulative():
+            lines.append(sample_line(
+                name + "_bucket", {**base, "le": _format_bound(bound)},
+                cumulative))
+        lines.append(sample_line(
+            name + "_bucket", {**base, "le": "+Inf"}, histogram.count))
+        lines.append(sample_line(name + "_sum", labels, histogram.sum))
+        lines.append(sample_line(name + "_count", labels, histogram.count))
+    return lines
+
+
+def render(families: Sequence[Sequence[str]]) -> str:
+    """Families joined into one exposition payload (trailing newline)."""
+    lines: List[str] = []
+    for lines_of_family in families:
+        lines.extend(lines_of_family)
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_HELP_RE = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<kind>\S+)$")
+
+
+def _base_name(sample_name: str, declared: Dict[str, str]) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if declared.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def validate_exposition(text: str) -> Dict[str, int]:
+    """Strictly validate a text-exposition payload.
+
+    Checks every line is either a well-formed ``# HELP``/``# TYPE``
+    comment or a well-formed sample, that sample values parse as
+    numbers, that every sample belongs to a family whose ``# TYPE`` was
+    declared *before* it, that no family is declared twice, and that
+    every histogram family emits a ``le="+Inf"`` bucket.  Raises
+    ``ValueError`` naming the offending line; returns
+    ``{"families": N, "samples": M}`` on success.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    declared: Dict[str, str] = {}
+    saw_inf: Dict[str, bool] = {}
+    samples = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise ValueError(f"line {number}: blank line")
+        if line.startswith("#"):
+            if _HELP_RE.match(line):
+                continue
+            match = _TYPE_RE.match(line)
+            if not match:
+                raise ValueError(f"line {number}: malformed comment: {line!r}")
+            name, kind = match.group("name"), match.group("kind")
+            if kind not in _VALID_TYPES:
+                raise ValueError(
+                    f"line {number}: invalid metric type {kind!r}")
+            if name in declared:
+                raise ValueError(
+                    f"line {number}: duplicate TYPE for {name!r}")
+            declared[name] = kind
+            if kind == "histogram":
+                saw_inf[name] = False
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        labels_text = match.group("labels")
+        labels: Dict[str, str] = {}
+        if labels_text:
+            for pair in labels_text.split(","):
+                pair_match = _LABEL_PAIR_RE.match(pair)
+                if not pair_match:
+                    raise ValueError(
+                        f"line {number}: malformed label pair {pair!r}")
+                labels[pair_match.group("name")] = pair_match.group("value")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(
+                    f"line {number}: non-numeric value {value!r}")
+        base = _base_name(match.group("name"), declared)
+        if base not in declared:
+            raise ValueError(
+                f"line {number}: sample {match.group('name')!r} has no "
+                "preceding # TYPE declaration")
+        if (declared[base] == "histogram"
+                and match.group("name").endswith("_bucket")
+                and labels.get("le") == "+Inf"):
+            saw_inf[base] = True
+        samples += 1
+    missing = sorted(name for name, seen in saw_inf.items() if not seen)
+    if missing:
+        raise ValueError(
+            "histogram families missing le=\"+Inf\" bucket: "
+            + ", ".join(missing))
+    return {"families": len(declared), "samples": samples}

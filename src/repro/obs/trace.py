@@ -1,0 +1,283 @@
+"""Trace context and span recording — the tracing half of ``repro.obs``.
+
+A **trace** is one end-to-end operation (a ``repro run``, one
+``RemoteSession.run`` call, one served request chain) identified by a
+32-hex ``trace_id`` minted at the outermost entry point.  A **span** is
+one timed stage inside it (``server.request``, ``queue.wait``,
+``compile``, ``shots``, ...), identified by a 16-hex ``span_id`` and
+linked to its parent span — together the spans of a trace reconstruct
+where the wall-clock time of a run actually went, across processes and
+hosts.
+
+Propagation is ambient: :func:`activate` binds ``(tracer, trace_id,
+current span)`` to a :mod:`contextvars` context variable, and
+:func:`span` opens a child of whatever is current — so deep code
+(``cached_compile``, the shot kernels, the job queue) records spans
+without threading arguments through every call.  Across process/host
+boundaries the context travels explicitly: the ``X-Repro-Trace`` HTTP
+header (``<trace_id>-<span_id>``), fleet claim payloads, and spawn-pool
+initializers.
+
+**Zero-perturbation contract.**  Tracing is observability, never
+semantics: span timestamps are wall-clock stamps that feed *only* the
+trace sink — never cache keys, seeds, parameters, or result envelopes —
+and with no active trace :func:`span` is a near-free no-op (one context
+variable read).  ``--format json`` output is byte-identical with
+tracing on or off; the registry-wide test in ``tests/test_obs.py`` pins
+exactly that.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional, Tuple
+
+#: The HTTP header carrying trace context between client, server, and
+#: fleet workers: ``<32-hex trace id>-<16-hex span id>``.
+TRACE_HEADER = "X-Repro-Trace"
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex span id."""
+    return uuid.uuid4().hex[:16]
+
+
+def is_trace_id(value: Any) -> bool:
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+def format_trace_header(trace_id: str, span_id: str) -> str:
+    """The ``X-Repro-Trace`` value for one context."""
+    return f"{trace_id}-{span_id}"
+
+
+def parse_trace_header(value: Any) -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` from a header value, or ``None``.
+
+    Lenient by design: a malformed header from an arbitrary client must
+    degrade to "no trace", never to a failed request.
+    """
+    if not isinstance(value, str):
+        return None
+    trace_id, sep, span_id = value.strip().partition("-")
+    if not sep or not _TRACE_ID_RE.match(trace_id):
+        return None
+    if not _SPAN_ID_RE.match(span_id):
+        return None
+    return trace_id, span_id
+
+
+def span_record(trace_id: str, span_id: str, parent: Optional[str],
+                name: str, service: str, start: float, duration_s: float,
+                attrs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """One span as its JSONL dict — the single record shape every sink
+    stores and ``GET /trace/<id>`` returns."""
+    record: Dict[str, Any] = {
+        "trace": trace_id,
+        "span": span_id,
+        "parent": parent,
+        "name": name,
+        "service": service,
+        "start": round(float(start), 6),
+        "duration_s": round(float(duration_s), 6),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class SpanBuffer:
+    """An in-memory sink: collects records for a later batched export.
+
+    Used where the trace store is on another host — ``RemoteSession``
+    and fleet workers buffer their spans and ship them to the server
+    via ``POST /trace`` when the operation finishes.
+    """
+
+    def __init__(self):
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        records, self.records = self.records, []
+        return records
+
+
+class Tracer:
+    """Span emission policy: a sink plus a default service label.
+
+    ``sink`` is anything with ``emit(record)`` — a
+    :class:`~repro.obs.store.TraceStore` (append-only JSONL directory)
+    or a :class:`SpanBuffer`.  ``observer``, when given, is fed every
+    record emitted *here* (not records ingested from elsewhere); the
+    serving layer uses it to tee span durations into its latency
+    histograms.
+    """
+
+    def __init__(self, sink, service: str = "repro", observer=None):
+        if not callable(getattr(sink, "emit", None)):
+            raise TypeError(
+                f"sink must have an emit(record) method, got {sink!r}")
+        self.sink = sink
+        self.service = service
+        self.observer = observer
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.sink.emit(record)
+        if self.observer is not None:
+            self.observer(record)
+
+    def __repr__(self) -> str:
+        return f"Tracer(service={self.service!r}, sink={self.sink!r})"
+
+
+class ActiveTrace:
+    """The ambient context: which tracer, which trace, which span."""
+
+    __slots__ = ("tracer", "trace_id", "span_id")
+
+    def __init__(self, tracer: Tracer, trace_id: str,
+                 span_id: Optional[str]):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
+_ACTIVE: ContextVar[Optional[ActiveTrace]] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current() -> Optional[ActiveTrace]:
+    """The active trace context, or ``None`` when tracing is off."""
+    return _ACTIVE.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id, for stamping side records (ledger rows)."""
+    active = _ACTIVE.get()
+    return active.trace_id if active is not None else None
+
+
+def install(tracer: Tracer, trace_id: str,
+            parent_span_id: Optional[str] = None) -> None:
+    """Activate a context for the *lifetime* of the current thread or
+    process — used by spawn-pool worker initializers, where there is no
+    enclosing ``with`` block to scope the context to."""
+    _ACTIVE.set(ActiveTrace(tracer, trace_id, parent_span_id))
+
+
+@contextmanager
+def activate(tracer: Tracer, trace_id: str,
+             parent_span_id: Optional[str] = None):
+    """Bind a trace context for the dynamic extent of the block."""
+    token = _ACTIVE.set(ActiveTrace(tracer, trace_id, parent_span_id))
+    try:
+        yield _ACTIVE.get()
+    finally:
+        _ACTIVE.reset(token)
+
+
+class SpanHandle:
+    """What :func:`span` yields: annotate the live span with ``set``.
+
+    The no-op singleton (``attrs is None``) is yielded when no trace is
+    active, so call sites never branch on "is tracing on".
+    """
+
+    __slots__ = ("trace_id", "span_id", "attrs")
+
+    def __init__(self, trace_id: Optional[str], span_id: Optional[str],
+                 attrs: Optional[Dict[str, Any]]):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        if self.attrs is not None:
+            self.attrs.update(attrs)
+
+
+_NOOP = SpanHandle(None, None, None)
+
+
+@contextmanager
+def span(name: str, service: Optional[str] = None, **attrs: Any):
+    """Record one span around the block — iff a trace is active.
+
+    Children opened inside the block parent to this span.  An exception
+    crossing the block stamps an ``error`` attribute (the exception
+    type name) and propagates.  Wall-clock ``start`` is stamped from
+    ``time.time`` for display; ``duration_s`` from ``time.monotonic``-
+    grade ``perf_counter`` so a wall-clock jump cannot corrupt it.
+    """
+    active = _ACTIVE.get()
+    if active is None:
+        yield _NOOP
+        return
+    handle = SpanHandle(active.trace_id, new_span_id(), dict(attrs))
+    token = _ACTIVE.set(
+        ActiveTrace(active.tracer, active.trace_id, handle.span_id))
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield handle
+    except BaseException as error:
+        handle.attrs.setdefault("error", type(error).__name__)
+        raise
+    finally:
+        duration = time.perf_counter() - start
+        _ACTIVE.reset(token)
+        active.tracer.emit(span_record(
+            active.trace_id, handle.span_id, active.span_id, name,
+            service or active.tracer.service, start_wall, duration,
+            handle.attrs))
+
+
+@contextmanager
+def root_span(tracer: Optional[Tracer], name: str,
+              service: Optional[str] = None, **attrs: Any):
+    """A child span when a trace is already active; otherwise a fresh
+    root trace (when ``tracer`` is configured); otherwise a no-op.
+
+    This is the entry-point helper: ``Session.run`` wraps itself in it,
+    so a bare CLI run mints its own trace while the same call nested
+    under a served job joins the request's trace instead.
+    """
+    active = _ACTIVE.get()
+    if active is None and tracer is None:
+        yield _NOOP
+        return
+    if active is None:
+        with activate(tracer, new_trace_id(), None):
+            with span(name, service=service, **attrs) as handle:
+                yield handle
+        return
+    with span(name, service=service, **attrs) as handle:
+        yield handle
+
+
+def record_span(tracer: Tracer, trace_id: str, parent: Optional[str],
+                name: str, service: str, start: float, duration_s: float,
+                **attrs: Any) -> str:
+    """Emit one externally-timed span (queue wait, lease lifetime —
+    stages whose start and end happen on different threads, where a
+    ``with`` block cannot wrap the interval).  Returns the span id."""
+    span_id = new_span_id()
+    tracer.emit(span_record(trace_id, span_id, parent, name, service,
+                            start, duration_s, attrs or None))
+    return span_id

@@ -29,12 +29,22 @@ Endpoints::
     GET  /sweeps/<id>/stream line-delimited JSON: each cell's envelope
                              the moment it finalizes, then a summary
     GET  /metrics            counters + queue + fleet state + recent
-                             ledger tail
+                             ledger tail (?format=prometheus renders
+                             text exposition instead)
+    GET  /trace              stored trace ids (tracing enabled servers)
+    GET  /trace/<id>         every span of one trace, sorted by start
+    POST /trace              ingest externally-recorded spans (remote
+                             clients and fleet workers export here)
     POST /fleet/claim        a fleet worker pulls the next queued job
                              (lease granted; {"job": null} when idle)
     POST /fleet/heartbeat    renew a claimed job's lease (409 LeaseLost
                              once reclaimed)
     POST /fleet/complete     report a leased job's envelope or error
+
+With tracing enabled (``serve --trace-dir``) an ``X-Repro-Trace``
+request header joins the request to the caller's trace; POST /run and
+POST /sweeps mint a fresh trace when none is sent.  Responses echo the
+context back in the same header.
 
 Every response body is JSON.  Result-envelope bodies are rendered with
 :func:`repro.api.store.canonical_json`, the single spelling of envelope
@@ -51,6 +61,7 @@ import re
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.api.circuits import CircuitStore
 from repro.api.registry import ExperimentSpec, all_experiments
@@ -68,6 +79,8 @@ from repro.fleet.protocol import (
     describe_claim,
     validate_worker_id,
 )
+from repro.obs import trace as _obs
+from repro.obs.store import TraceStore
 from repro.serve.jobs import FAILED, JobQueue
 from repro.serve.metrics import ServeMetrics
 from repro.serve.sweeps import SweepTable
@@ -147,7 +160,9 @@ class ServeApp:
     def __init__(self, store: ResultStore, jobs: JobQueue,
                  metrics: Optional[ServeMetrics] = None,
                  sweeps: Optional[SweepTable] = None,
-                 circuits: Optional[CircuitStore] = None):
+                 circuits: Optional[CircuitStore] = None,
+                 tracer: Optional[_obs.Tracer] = None,
+                 traces: Optional[TraceStore] = None):
         self.store = store
         self.jobs = jobs
         self.metrics = metrics if metrics is not None else jobs.metrics
@@ -158,17 +173,56 @@ class ServeApp:
         self.circuits = (circuits if circuits is not None
                          else CircuitStore(os.path.join(store.path,
                                                         "circuits")))
+        # Tracing is optional end to end: no tracer, no spans, no /trace
+        # routes.  The tracer defaults to the queue's (one server, one
+        # tracer) and the browsable store to the tracer's own sink when
+        # that sink is a TraceStore.
+        self.tracer = tracer if tracer is not None else jobs.tracer
+        if traces is None and self.tracer is not None:
+            sink = self.tracer.sink
+            if isinstance(sink, TraceStore):
+                traces = sink
+        self.traces = traces
 
     # -- dispatch ----------------------------------------------------------------
 
-    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
-        """Route one request; never raises (unexpected failures → 500)."""
-        route, response = self._dispatch(method, path.split("?", 1)[0], body)
-        self.metrics.count_request(route, response.status)
+    def handle(self, method: str, path: str, body: bytes = b"",
+               trace: Optional[str] = None) -> Response:
+        """Route one request; never raises (unexpected failures → 500).
+
+        ``trace`` is the raw ``X-Repro-Trace`` request header value (or
+        ``None``): with a tracer configured it joins this request to the
+        caller's trace, the handling is recorded as a ``server.request``
+        span, and the context is echoed back in the response header.
+        POST /run and POST /sweeps mint a fresh trace when the caller
+        sent none — polling GETs never do (a scrape is not an
+        operation).
+        """
+        bare, _, query = path.partition("?")
+        start = time.perf_counter()
+        context = (_obs.parse_trace_header(trace)
+                   if self.tracer is not None else None)
+        if (self.tracer is not None and context is None
+                and method == "POST" and bare in ("/run", "/sweeps")):
+            context = (_obs.new_trace_id(), None)
+        if context is None:
+            route, response = self._dispatch(method, bare, body, query)
+        else:
+            with _obs.activate(self.tracer, context[0], context[1]):
+                with _obs.span("server.request", service="serve",
+                               method=method) as request_span:
+                    route, response = self._dispatch(method, bare, body,
+                                                     query)
+                    request_span.set(route=route, status=response.status)
+            response.headers.setdefault(
+                _obs.TRACE_HEADER,
+                _obs.format_trace_header(context[0], request_span.span_id))
+        self.metrics.count_request(route, response.status,
+                                   seconds=time.perf_counter() - start)
         return response
 
-    def _dispatch(self, method: str, path: str,
-                  body: bytes) -> Tuple[str, Response]:
+    def _dispatch(self, method: str, path: str, body: bytes,
+                  query: str = "") -> Tuple[str, Response]:
         try:
             if path == "/healthz" and method == "GET":
                 return "GET /healthz", self._healthz()
@@ -200,7 +254,14 @@ class ServeApp:
                             self._sweep_stream(rest[:-len("/stream")]))
                 return "GET /sweeps/<id>", self._sweep_status(rest)
             if path == "/metrics" and method == "GET":
-                return "GET /metrics", self._metrics()
+                return "GET /metrics", self._metrics(query)
+            if path == "/trace" and method == "GET":
+                return "GET /trace", self._trace_list()
+            if path == "/trace" and method == "POST":
+                return "POST /trace", self._trace_ingest(body)
+            if path.startswith("/trace/") and method == "GET":
+                return ("GET /trace/<id>",
+                        self._trace(path[len("/trace/"):]))
             if path == CLAIM_PATH and method == "POST":
                 return f"POST {CLAIM_PATH}", self._fleet_claim(body)
             if path == HEARTBEAT_PATH and method == "POST":
@@ -338,7 +399,8 @@ class ServeApp:
                 # other read-through hit, so /metrics' recent window
                 # sees served traffic, not only queue traffic.
                 self.store.record(key, experiment,
-                                  time.perf_counter() - start, hit=True)
+                                  time.perf_counter() - start, hit=True,
+                                  trace=_obs.current_trace_id())
                 self.metrics.count("store_hits")
                 return Response(200, canonical_json(envelope).encode(),
                                 {"X-Repro-Store": "hit", "X-Repro-Key": key})
@@ -423,7 +485,13 @@ class ServeApp:
         return Response(200, b"", {"X-Repro-Sweep": record.id},
                         stream=lines())
 
-    def _metrics(self) -> Response:
+    def _metrics(self, query: str = "") -> Response:
+        formats = parse_qs(query).get("format")
+        if formats and formats[-1] == "prometheus":
+            return Response(
+                200, self.metrics.prometheus().encode(),
+                {"Content-Type":
+                 "text/plain; version=0.0.4; charset=utf-8"})
         recent = self.store.tail(RECENT_WINDOW)
         hits = sum(1 for entry in recent if entry.get("hit"))
         return _json_response(200, {
@@ -440,6 +508,56 @@ class ServeApp:
                 "misses": len(recent) - hits,
             },
         })
+
+    # -- traces ------------------------------------------------------------------
+
+    def _trace_list(self) -> Response:
+        if self.traces is None:
+            return _error(404, "tracing is not enabled on this server "
+                               "(start it with --trace-dir)")
+        rows = self.traces.traces()
+        return _json_response(200, {
+            "count": len(rows),
+            "traces": [{"id": trace_id, "bytes": size}
+                       for trace_id, size, _ in rows[-RECENT_WINDOW:]],
+        })
+
+    def _trace(self, trace_id: str) -> Response:
+        if self.traces is None:
+            return _error(404, "tracing is not enabled on this server "
+                               "(start it with --trace-dir)")
+        if not _obs.is_trace_id(trace_id):
+            return _error(400, "a trace id is 32 lowercase hex digits")
+        spans = self.traces.read(trace_id)
+        if not spans:
+            return _error(404, "no spans recorded under trace "
+                               f"{trace_id[:16]}…")
+        self.metrics.count("traces_served")
+        return _json_response(200, {
+            "trace": trace_id,
+            "count": len(spans),
+            "spans": spans,
+        }, {_obs.TRACE_HEADER: trace_id})
+
+    def _trace_ingest(self, body: bytes) -> Response:
+        """Accept spans recorded off-host: remote clients and fleet
+        workers buffer their spans and export them here, so one
+        ``GET /trace/<id>`` shows the whole distributed operation."""
+        if self.traces is None:
+            return _error(404, "tracing is not enabled on this server "
+                               "(start it with --trace-dir)")
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            return _error(400, "request body must be JSON")
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("spans"), list)):
+            return _error(400, 'request needs a "spans" list')
+        accepted = self.traces.ingest(payload["spans"],
+                                      observer=self.metrics.observe_span)
+        if accepted:
+            self.metrics.count("spans_ingested", accepted)
+        return _json_response(200, {"accepted": accepted})
 
     # -- fleet protocol ----------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.api.session import Session
 from repro.api.store import ResultStore
 from repro.exec.cache import CompileCache
 from repro.fleet.protocol import DEFAULT_LEASE_TTL
+from repro.obs import TRACE_HEADER, Tracer, TraceStore
 from repro.serve.app import ServeApp
 from repro.serve.jobs import JobQueue
 from repro.serve.metrics import ServeMetrics
@@ -48,7 +49,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = 0
         body = self.rfile.read(length) if length > 0 else b""
-        response = self.server.app.handle(self.command, self.path, body)
+        response = self.server.app.handle(
+            self.command, self.path, body,
+            trace=self.headers.get(TRACE_HEADER))
         if response.stream is not None:
             self._stream(response)
             return
@@ -135,6 +138,7 @@ def build_server(
     quiet: bool = False,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     circuit_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> ReproHTTPServer:
     """Assemble the full serving stack on ``host:port`` (0 = ephemeral).
 
@@ -147,13 +151,23 @@ def build_server(
     what was uploaded.  ``workers=0`` starts no local execution threads
     at all: every job waits for a fleet worker (``python -m repro
     worker``) to claim it over the ``/fleet/*`` routes, under a lease of
-    ``lease_ttl`` seconds.
+    ``lease_ttl`` seconds.  ``trace_dir`` enables end-to-end tracing
+    (see :mod:`repro.obs`): spans from request handling, the queue,
+    executing sessions, and remote exporters land in an append-only
+    JSONL store there, browsable via ``GET /trace/<id>``; ``None``
+    records nothing.
     """
     store = ResultStore(store_dir)
     cache = CompileCache(cache_dir)
     circuits = CircuitStore(circuit_dir
                             or os.path.join(store.path, "circuits"))
     metrics = ServeMetrics()
+    tracer = None
+    if trace_dir is not None:
+        # The tracer tees span durations into the latency histograms
+        # (compile wall, queue wait), so one scrape covers both worlds.
+        tracer = Tracer(TraceStore(trace_dir), service="serve",
+                        observer=metrics.observe_span)
     jobs = JobQueue(
         lambda: Session(jobs=1, cache=cache, store=store,
                         circuits=circuits),
@@ -161,8 +175,9 @@ def build_server(
         metrics=metrics,
         store=store,
         lease_ttl=lease_ttl,
+        tracer=tracer,
     )
     sweeps = SweepTable(store, jobs, metrics)
     app = ServeApp(store=store, jobs=jobs, metrics=metrics, sweeps=sweeps,
-                   circuits=circuits)
+                   circuits=circuits, tracer=tracer)
     return ReproHTTPServer((host, port), app, quiet=quiet)

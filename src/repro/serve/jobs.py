@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.fleet.leases import LeaseLost, LeaseTable
 from repro.fleet.protocol import DEFAULT_LEASE_TTL
+from repro.obs import trace as _obs
 from repro.serve.metrics import ServeMetrics
 
 #: Job lifecycle states.
@@ -77,7 +78,21 @@ class Job:
     worker: Optional[str] = None
     #: Times this job was handed to an executor (> 1 after a reclaim).
     attempts: int = 0
+    #: Trace context ``(trace_id, parent_span_id)`` captured at
+    #: submission time — ContextVars do not cross the worker-thread
+    #: boundary, so the job carries its trace explicitly (and fleet
+    #: claim payloads forward it to remote workers).
+    trace: Optional[Tuple[str, Optional[str]]] = None
     created_at: float = field(default_factory=time.time)
+    #: Enqueue stamps (wall for span display, monotonic for the
+    #: interval) backing the queue-wait measurement; reset on requeue.
+    _queued_wall: float = field(default_factory=time.time, repr=False)
+    _queued_perf: float = field(default_factory=time.perf_counter,
+                                repr=False)
+    #: ``(wall, perf_counter)`` at lease grant; cleared when the lease
+    #: span is emitted (release or expiry).
+    _lease_started: Optional[Tuple[float, float]] = field(default=None,
+                                                          repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
     #: Callables invoked exactly once when the job reaches a terminal
@@ -108,6 +123,8 @@ class Job:
             payload["worker"] = self.worker
         if self.attempts > 1:
             payload["attempts"] = self.attempts
+        if self.trace is not None:
+            payload["trace"] = self.trace[0]
         if self.status == DONE:
             payload["result_url"] = f"/results/{self.key}"
         return payload
@@ -126,7 +143,8 @@ class JobQueue:
                  metrics: Optional[ServeMetrics] = None,
                  max_finished: int = 1024,
                  store=None,
-                 lease_ttl: float = DEFAULT_LEASE_TTL):
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 tracer: Optional[_obs.Tracer] = None):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if max_finished < 1:
@@ -140,6 +158,9 @@ class JobQueue:
         #: (local thread jobs persist through their read-through
         #: sessions instead); ``None`` keeps results in-memory only.
         self._store = store
+        #: Tracer the queue records spans through (queue wait, job
+        #: execution, lease lifetime); ``None`` records nothing.
+        self.tracer = tracer
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
@@ -181,6 +202,12 @@ class JobQueue:
                     return existing, True
             job = Job(id=uuid.uuid4().hex[:12], experiment=experiment,
                       key=key, quick=quick, params=dict(params), force=force)
+            # Capture the submitting request's trace context (if any):
+            # the job crosses thread — possibly host — boundaries, so
+            # ambient context stops here and explicit context rides on.
+            active = _obs.current()
+            if active is not None:
+                job.trace = (active.trace_id, active.span_id)
             self._jobs[job.id] = job
             if not force:
                 self._inflight[key] = job
@@ -230,29 +257,66 @@ class JobQueue:
                 return
             self._run_job(job)
 
+    def _observe_queue_wait(self, job: Job) -> None:
+        """Record how long ``job`` sat queued before an executor took it.
+
+        With a traced job the interval becomes a ``queue.wait`` span
+        (teed into the histogram by the tracer's observer); untraced
+        jobs still feed the histogram directly.
+        """
+        wait = max(0.0, time.perf_counter() - job._queued_perf)
+        if self.tracer is not None and job.trace is not None:
+            _obs.record_span(self.tracer, job.trace[0], job.trace[1],
+                             "queue.wait", "serve", job._queued_wall, wait,
+                             job_id=job.id)
+        else:
+            self.metrics.observe("queue_wait_seconds", wait)
+
     def _run_job(self, job: Job) -> None:
         job.status = RUNNING
         job.attempts += 1
-        start = time.perf_counter()
-        session = None
-        outcome = FAILED
-        try:
-            # Inside the try: a raising session factory must fail the
-            # job, not kill the worker and wedge the in-flight key.
-            session = self._session_factory()
-            result = session.run(job.experiment, quick=job.quick,
-                                 force=job.force, **job.params)
-            job.envelope = result.to_dict()
-            outcome = DONE
-        except BaseException as error:  # a failed job must never kill a worker
-            job.error = f"{type(error).__name__}: {error}"
-        finally:
-            job.wall_s = time.perf_counter() - start
-            job.tasks_executed = getattr(session, "tasks_executed", None)
-            self._finalize(job, outcome)
+        self._observe_queue_wait(job)
+
+        def execute() -> str:
+            start = time.perf_counter()
+            session = None
+            outcome = FAILED
+            try:
+                # Inside the try: a raising session factory must fail
+                # the job, not kill the worker and wedge the in-flight
+                # key.
+                session = self._session_factory()
+                result = session.run(job.experiment, quick=job.quick,
+                                     force=job.force, **job.params)
+                job.envelope = result.to_dict()
+                outcome = DONE
+            except BaseException as error:
+                # A failed job must never kill a worker.
+                job.error = f"{type(error).__name__}: {error}"
+            finally:
+                job.wall_s = time.perf_counter() - start
+                job.tasks_executed = getattr(session, "tasks_executed",
+                                             None)
+            return outcome
+
+        if self.tracer is not None and job.trace is not None:
+            # Worker threads never inherit the submitting request's
+            # ContextVars — re-activate the job's trace explicitly.
+            # The span closes before _finalize wakes waiters, so a
+            # client that saw the job finish can read its whole trace.
+            with _obs.activate(self.tracer, job.trace[0], job.trace[1]):
+                with _obs.span("job.execute", job_id=job.id,
+                               experiment=job.experiment) as handle:
+                    outcome = execute()
+                    handle.set(status=outcome)
+        else:
+            outcome = execute()
+        self._finalize(job, outcome)
 
     def _finalize(self, job: Job, outcome: str) -> None:
         """Shared terminal transition for local and fleet execution."""
+        if job.wall_s is not None:
+            self.metrics.observe("cell_duration_seconds", job.wall_s)
         # The terminal status flips last: a poller that observes
         # "done" must already see envelope/wall_s/tasks_executed.
         job.status = outcome
@@ -316,6 +380,8 @@ class JobQueue:
             job.status = RUNNING
             job.worker = worker_id
             job.attempts += 1
+            self._observe_queue_wait(job)
+            job._lease_started = (time.time(), time.perf_counter())
             self.leases.grant(job.id, worker_id)
             stats = self._fleet_stats_locked(worker_id)
             stats["claims"] += 1
@@ -363,6 +429,7 @@ class JobQueue:
         if job.status in (DONE, FAILED):
             raise LeaseLost(f"job {job_id} already completed")
         self.leases.release(job_id, worker_id)
+        self._emit_lease_span(job, "released", worker_id)
         job.worker = worker_id
         job.wall_s = wall_s
         job.tasks_executed = tasks_executed
@@ -378,7 +445,8 @@ class JobQueue:
                 self._store.record(job.key, job.experiment,
                                    wall_s if wall_s is not None
                                    else time.perf_counter() - start,
-                                   hit=False)
+                                   hit=False,
+                                   trace=job.trace[0] if job.trace else None)
             outcome = DONE
         else:
             job.error = error or "worker reported failure"
@@ -392,6 +460,21 @@ class JobQueue:
         self._finalize(job, outcome)
         return job
 
+    def _emit_lease_span(self, job: Job, outcome: str,
+                         worker_id: str) -> None:
+        """Record one lease lifetime span (grant → release/expiry)."""
+        started = job._lease_started
+        job._lease_started = None
+        if (started is None or self.tracer is None
+                or job.trace is None):
+            return
+        wall, perf = started
+        _obs.record_span(self.tracer, job.trace[0], job.trace[1],
+                         "lease", "serve", wall,
+                         time.perf_counter() - perf,
+                         outcome=outcome, worker=worker_id,
+                         job_id=job.id)
+
     def reap_expired(self) -> int:
         """Requeue every job whose lease expired; the reclaim count."""
         expired = self.leases.pop_expired()
@@ -404,8 +487,11 @@ class JobQueue:
                 if (job is None or job.status != RUNNING
                         or job.worker != lease.worker):
                     continue
+                self._emit_lease_span(job, "expired", lease.worker)
                 job.status = QUEUED
                 job.worker = None
+                job._queued_wall = time.time()
+                job._queued_perf = time.perf_counter()
                 self._queue.put(job)
                 reclaimed += 1
                 stats = self._fleet_stats_locked(lease.worker)

@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.api.store import ResultStore
 from repro.api.sweep import SweepCell, SweepSpec
+from repro.obs import trace as _obs
 from repro.serve.jobs import DONE, FAILED, Job, JobQueue
 from repro.serve.metrics import ServeMetrics
 
@@ -233,7 +234,7 @@ class SweepTable:
                     # replay, count it, never touch the queue.
                     self.store.record(cell.key, spec.experiment,
                                       time.perf_counter() - start,
-                                      hit=True)
+                                      hit=True, trace=_obs.current_trace_id())
                     self.metrics.count("sweep_cells_hit")
                     record._finish_cell(state, DONE, "store",
                                         envelope=envelope,
